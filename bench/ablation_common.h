@@ -1,0 +1,115 @@
+// Shared scenario runner for the ablation benches: plays a fixed set of
+// (user, clip) scenarios under a configurable TracerConfig and aggregates
+// the playout statistics, so design choices (rate controller, pre-roll,
+// SureStream, packet sizing) can be compared like-for-like.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "stats/summary.h"
+#include "study/study.h"
+#include "tracer/real_tracer.h"
+#include "util/strings.h"
+#include "world/region_graph.h"
+
+namespace rv::bench {
+
+struct AblationStats {
+  double mean_fps = 0.0;
+  double mean_bandwidth_kbps = 0.0;
+  double mean_jitter_ms = 0.0;
+  double mean_rebuffers = 0.0;
+  double mean_preroll_sec = 0.0;
+  double pct_below_3fps = 0.0;
+  int plays = 0;
+};
+
+inline world::UserProfile ablation_user(world::ConnectionClass connection) {
+  world::UserProfile u;
+  u.id = 0;
+  u.country = "US";
+  u.us_state = "MA";
+  u.region = world::Region::kUsEast;
+  u.group = world::UserRegionGroup::kUsCanada;
+  u.connection = connection;
+  u.pc_class = "Pentium II / 128-256";
+  u.isp_load_lo = 0.35;
+  u.isp_load_hi = 0.75;
+  u.seed = 4242;
+  return u;
+}
+
+// Plays `n` scenarios per connection class over varied seeds/clips.
+inline AblationStats run_scenarios(const tracer::TracerConfig& config,
+                                   world::ConnectionClass connection,
+                                   int n, std::uint64_t seed_base,
+                                   bool force_tcp = false) {
+  study::StudyConfig study_cfg;
+  study_cfg.tracer = config;
+  const media::Catalog catalog = study::make_catalog(study_cfg);
+  const world::RegionGraph graph;
+  const tracer::RealTracer tracer(catalog, graph, config);
+  const world::UserProfile user = ablation_user(connection);
+
+  stats::Summary fps;
+  stats::Summary bw;
+  stats::Summary jitter;
+  stats::Summary rebuf;
+  stats::Summary preroll;
+  int below3 = 0;
+  int played = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto rec = tracer.run_single(
+        user, static_cast<std::size_t>(i) % catalog.size(),
+        seed_base + static_cast<std::uint64_t>(i) * 7919, force_tcp);
+    if (!rec.stats.played_any_frame) {
+      ++below3;  // a dead session is the worst outcome
+      ++played;
+      fps.add(0.0);
+      continue;
+    }
+    ++played;
+    fps.add(rec.stats.measured_fps);
+    bw.add(to_kbps(rec.stats.measured_bandwidth));
+    jitter.add(rec.stats.jitter_ms);
+    rebuf.add(rec.stats.rebuffer_events);
+    preroll.add(rec.stats.preroll_seconds);
+    if (rec.stats.measured_fps < 3.0) ++below3;
+  }
+  AblationStats out;
+  out.plays = played;
+  if (!fps.empty()) out.mean_fps = fps.mean();
+  if (!bw.empty()) out.mean_bandwidth_kbps = bw.mean();
+  if (!jitter.empty()) out.mean_jitter_ms = jitter.mean();
+  if (!rebuf.empty()) out.mean_rebuffers = rebuf.mean();
+  if (!preroll.empty()) out.mean_preroll_sec = preroll.mean();
+  out.pct_below_3fps =
+      played == 0 ? 0.0 : 100.0 * static_cast<double>(below3) / played;
+  return out;
+}
+
+inline void print_ablation_row(const std::string& label,
+                               const AblationStats& s) {
+  std::cout << "  " << label << std::string(label.size() < 26 ? 26 - label.size() : 1, ' ')
+            << " fps=" << util::format_double(s.mean_fps, 1)
+            << "  <3fps=" << util::format_double(s.pct_below_3fps, 0) << "%"
+            << "  bw=" << util::format_double(s.mean_bandwidth_kbps, 0) << "k"
+            << "  jitter=" << util::format_double(s.mean_jitter_ms, 0) << "ms"
+            << "  rebuf=" << util::format_double(s.mean_rebuffers, 2)
+            << "  preroll=" << util::format_double(s.mean_preroll_sec, 1)
+            << "s\n";
+}
+
+inline int run_benchmark_tail(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace rv::bench

@@ -1,0 +1,56 @@
+// Ablation: the UDP application-layer rate controller (DESIGN.md §4.3).
+//
+// Compares AIMD (the RealSystem-style default), TFRC (the TCP-friendly
+// equation the paper cites [FHPW00]) and an unresponsive fixed-rate sender —
+// the exact concern raised in the paper's §V.A discussion of congestion
+// collapse. Expected shape: AIMD and TFRC deliver similar goodput with few
+// rebuffers; the unresponsive sender wins no extra bandwidth but floods
+// loaded links and stalls more.
+#include "ablation_common.h"
+
+namespace {
+
+constexpr int kPlays = 24;
+
+rv::tracer::TracerConfig with_controller(rv::server::CongestionControlKind k) {
+  rv::tracer::TracerConfig cfg;
+  cfg.udp_control = k;
+  cfg.direct_tcp_probability = 0.0;  // UDP-only comparison
+  // Congestion is what differentiates the controllers: on an uncongested
+  // path the unresponsive sender simply wins (nothing punishes it). Run the
+  // sweep with frequent saturation episodes, where blasting the top
+  // SureStream level into a collapsed link costs complete frames.
+  cfg.path.episode_probability = 0.25;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using rv::server::CongestionControlKind;
+  std::cout << "Ablation: UDP rate controller (DSL/Cable users, "
+            << kPlays << " plays each)\n";
+  for (const auto& [label, kind] :
+       {std::pair{"aimd (RealSystem-style)", CongestionControlKind::kAimd},
+        std::pair{"tfrc (equation-based)", CongestionControlKind::kTfrc},
+        std::pair{"none (unresponsive)", CongestionControlKind::kNone}}) {
+    const auto stats = rv::bench::run_scenarios(
+        with_controller(kind), rv::world::ConnectionClass::kDslCable,
+        kPlays, 1000);
+    rv::bench::print_ablation_row(label, stats);
+  }
+
+  benchmark::RegisterBenchmark("ablation/controller_aimd_play",
+                               [](benchmark::State& state) {
+                                 for (auto _ : state) {
+                                   benchmark::DoNotOptimize(
+                                       rv::bench::run_scenarios(
+                                           with_controller(
+                                               CongestionControlKind::kAimd),
+                                           rv::world::ConnectionClass::
+                                               kDslCable,
+                                           1, 55));
+                                 }
+                               });
+  return rv::bench::run_benchmark_tail(argc, argv);
+}

@@ -1,0 +1,44 @@
+// Extension bench: live vs pre-recorded content (paper §VIII future work).
+//
+// The paper proposes comparing live RealVideo with the pre-recorded clips of
+// its study, citing [LH01] that live content behaves differently. Expected
+// shape: live sessions start slower (the buffer can only fill in real time)
+// and degrade harder under congestion (no faster-than-realtime catch-up),
+// while pre-recorded playouts hide more of the network behind the buffer.
+#include "ablation_common.h"
+
+namespace {
+
+constexpr int kPlays = 20;
+
+rv::tracer::TracerConfig variant(bool live) {
+  rv::tracer::TracerConfig cfg;
+  cfg.live_content = live;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto connection : {rv::world::ConnectionClass::kDslCable,
+                                rv::world::ConnectionClass::kModem56k}) {
+    std::cout << "Extension: live vs pre-recorded ("
+              << rv::world::connection_class_name(connection) << " users, "
+              << kPlays << " plays each)\n";
+    for (const bool live : {false, true}) {
+      const auto stats = rv::bench::run_scenarios(variant(live), connection,
+                                                  kPlays, 6000);
+      rv::bench::print_ablation_row(
+          live ? "live (edge-pinned)" : "pre-recorded", stats);
+    }
+  }
+
+  benchmark::RegisterBenchmark(
+      "extension/live_play", [](benchmark::State& state) {
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(rv::bench::run_scenarios(
+              variant(true), rv::world::ConnectionClass::kDslCable, 1, 44));
+        }
+      });
+  return rv::bench::run_benchmark_tail(argc, argv);
+}

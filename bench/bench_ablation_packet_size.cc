@@ -1,0 +1,43 @@
+// Ablation: adaptive media packet sizing (DESIGN.md §4.6).
+//
+// RealServer sizes packets to the client's connection speed so a modem
+// doesn't spend 300+ ms serialising one packet. Expected shape: fixed
+// MTU-size packets raise modem jitter (serialisation delay quantum) and
+// frame loss impact; broadband is largely indifferent.
+#include "ablation_common.h"
+
+namespace {
+
+constexpr int kPlays = 20;
+
+rv::tracer::TracerConfig variant(bool adaptive) {
+  rv::tracer::TracerConfig cfg;
+  cfg.adaptive_packet_size = adaptive;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto connection : {rv::world::ConnectionClass::kModem56k,
+                                rv::world::ConnectionClass::kDslCable}) {
+    std::cout << "Ablation: packet sizing ("
+              << rv::world::connection_class_name(connection) << " users, "
+              << kPlays << " plays each)\n";
+    for (const bool adaptive : {true, false}) {
+      const auto stats = rv::bench::run_scenarios(variant(adaptive),
+                                                  connection, kPlays, 4000);
+      rv::bench::print_ablation_row(
+          adaptive ? "adaptive (RealServer)" : "fixed 1400B", stats);
+    }
+  }
+
+  benchmark::RegisterBenchmark(
+      "ablation/packet_size_play", [](benchmark::State& state) {
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(rv::bench::run_scenarios(
+              variant(true), rv::world::ConnectionClass::kModem56k, 1, 99));
+        }
+      });
+  return rv::bench::run_benchmark_tail(argc, argv);
+}

@@ -1,0 +1,36 @@
+// Ablation: pre-roll buffer length (DESIGN.md §4.7, paper §II.B).
+//
+// The paper attributes the high fraction of jitter-free playouts to
+// RealPlayer's "large initial buffer". Expected shape: longer pre-roll →
+// fewer rebuffers and lower jitter, at the cost of a longer startup wait.
+#include "ablation_common.h"
+
+namespace {
+
+constexpr int kPlays = 20;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "Ablation: pre-roll buffer length (modem users, " << kPlays
+            << " plays each)\n";
+  for (const double preroll : {2.0, 5.0, 8.0, 15.0}) {
+    rv::tracer::TracerConfig cfg;
+    cfg.preroll_media_seconds = preroll;
+    const auto stats = rv::bench::run_scenarios(
+        cfg, rv::world::ConnectionClass::kModem56k, kPlays, 2000);
+    rv::bench::print_ablation_row(
+        rv::util::str_cat("preroll=", preroll, "s"), stats);
+  }
+
+  benchmark::RegisterBenchmark(
+      "ablation/preroll8_play", [](benchmark::State& state) {
+        rv::tracer::TracerConfig cfg;
+        cfg.preroll_media_seconds = 8.0;
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(rv::bench::run_scenarios(
+              cfg, rv::world::ConnectionClass::kModem56k, 1, 77));
+        }
+      });
+  return rv::bench::run_benchmark_tail(argc, argv);
+}

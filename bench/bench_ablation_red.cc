@@ -1,0 +1,46 @@
+// Ablation: drop-tail vs RED queues on the wide-area path (DESIGN.md §4.2).
+//
+// The paper's congestion references [FF98] advocate active queue management.
+// Expected shape: RED trims the standing queue (lower jitter from queueing
+// delay, especially for modem-class flows behind bloated buffers) at a small
+// cost in loss-triggered adaptation events.
+#include "ablation_common.h"
+
+namespace {
+
+constexpr int kPlays = 20;
+
+rv::tracer::TracerConfig with_policy(rv::net::QueuePolicy policy) {
+  rv::tracer::TracerConfig cfg;
+  cfg.path.queue_policy = policy;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto connection : {rv::world::ConnectionClass::kModem56k,
+                                rv::world::ConnectionClass::kDslCable}) {
+    std::cout << "Ablation: queue discipline ("
+              << rv::world::connection_class_name(connection) << " users, "
+              << kPlays << " plays each)\n";
+    for (const auto& [label, policy] :
+         {std::pair{"drop-tail (2001 default)",
+                    rv::net::QueuePolicy::kDropTail},
+          std::pair{"RED", rv::net::QueuePolicy::kRed}}) {
+      const auto stats = rv::bench::run_scenarios(with_policy(policy),
+                                                  connection, kPlays, 5000);
+      rv::bench::print_ablation_row(label, stats);
+    }
+  }
+
+  benchmark::RegisterBenchmark(
+      "ablation/red_play", [](benchmark::State& state) {
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(rv::bench::run_scenarios(
+              with_policy(rv::net::QueuePolicy::kRed),
+              rv::world::ConnectionClass::kDslCable, 1, 66));
+        }
+      });
+  return rv::bench::run_benchmark_tail(argc, argv);
+}

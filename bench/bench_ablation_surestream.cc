@@ -1,0 +1,45 @@
+// Ablation: SureStream level switching and Scalable Video Technology
+// thinning (DESIGN.md §4.6, paper §II.C).
+//
+// Expected shape: with both off, constrained sessions rebuffer heavily
+// instead of degrading gracefully; SureStream recovers most of the frame
+// rate, SVT trims the residual stalls.
+#include "ablation_common.h"
+
+namespace {
+
+constexpr int kPlays = 20;
+
+rv::tracer::TracerConfig variant(bool surestream, bool svt) {
+  rv::tracer::TracerConfig cfg;
+  cfg.surestream_enabled = surestream;
+  cfg.svt_enabled = svt;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "Ablation: SureStream + SVT (modem users, " << kPlays
+            << " plays each)\n";
+  for (const auto& [label, ss, svt] :
+       {std::tuple{"surestream+svt (shipping)", true, true},
+        std::tuple{"surestream only", true, false},
+        std::tuple{"svt only", false, true},
+        std::tuple{"neither (fixed level)", false, false}}) {
+    const auto stats = rv::bench::run_scenarios(
+        variant(ss, svt), rv::world::ConnectionClass::kModem56k, kPlays,
+        3000);
+    rv::bench::print_ablation_row(label, stats);
+  }
+
+  benchmark::RegisterBenchmark(
+      "ablation/surestream_play", [](benchmark::State& state) {
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(rv::bench::run_scenarios(
+              variant(true, true), rv::world::ConnectionClass::kModem56k, 1,
+              88));
+        }
+      });
+  return rv::bench::run_benchmark_tail(argc, argv);
+}

@@ -1,0 +1,28 @@
+// Regenerates the paper's Figure 1: the buffering and playout time series of
+// a single RealVideo clip (coded/actual bandwidth and frame rate vs time).
+// This one simulates a single instrumented playout rather than the study.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "study/figures.h"
+
+int main(int argc, char** argv) {
+  const rv::study::StudyConfig config = rv::bench::config_from_env();
+  rv::study::set_csv_export_dir("fig_data");
+  std::cout << rv::study::fig01_buffering(config) << "\n";
+  rv::study::set_csv_export_dir("");
+
+  benchmark::RegisterBenchmark(
+      "fig01_buffering/single_play", [&config](benchmark::State& state) {
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(rv::study::fig01_buffering(config));
+        }
+      });
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

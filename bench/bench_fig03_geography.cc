@@ -1,0 +1,60 @@
+// Figures 3 and 4 of the paper are world maps of the RealServer sites and
+// the participating users. This binary prints their textual equivalent: the
+// server sites by backbone region and the user population by country —
+// verifying the study's geographic footprint matches the paper's.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "bench_common.h"
+#include "stats/render.h"
+#include "world/servers.h"
+
+int main(int argc, char** argv) {
+  using namespace rv;
+  std::cout << "Figure 3: RealServer sites (11 servers, 8 countries)\n";
+  std::map<std::string, std::vector<std::string>> by_region;
+  for (const auto& site : world::server_sites()) {
+    by_region[std::string(world::region_name(site.region))].push_back(
+        site.name);
+  }
+  for (const auto& [region, names] : by_region) {
+    std::cout << "  " << region << ":";
+    for (const auto& n : names) std::cout << " " << n;
+    std::cout << "\n";
+  }
+
+  std::cout << "\nFigure 4: participating users by country (12 countries)\n";
+  const auto users = world::generate_population({});
+  std::map<std::string, int> by_country;
+  for (const auto& u : users) ++by_country[u.country];
+  for (const auto& [country, n] : by_country) {
+    std::cout << "  " << country << ": " << n << " user" << (n > 1 ? "s" : "")
+              << "\n";
+  }
+  const std::vector<stats::ComparisonRow> rows = {
+      {"server countries", "8", std::to_string([&] {
+         std::set<std::string> c;
+         for (const auto& s : world::server_sites()) c.insert(s.country);
+         return c.size();
+       }())},
+      {"user countries", "12", std::to_string(by_country.size())},
+      {"users", "63", std::to_string(users.size())},
+  };
+  std::cout << "\n" << stats::render_comparison("paper vs measured", rows);
+
+  benchmark::RegisterBenchmark("fig03_geography/population",
+                               [](benchmark::State& state) {
+                                 for (auto _ : state) {
+                                   benchmark::DoNotOptimize(
+                                       rv::world::generate_population({}));
+                                 }
+                               });
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

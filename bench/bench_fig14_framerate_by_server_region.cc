@@ -1,0 +1,5 @@
+// Regenerates the paper's Figure 14 (framerate_by_server_region) from the full
+// simulated study. See bench_common.h for environment overrides.
+#include "bench_common.h"
+
+RV_FIGURE_BENCH_MAIN(fig14_framerate_by_server_region)

@@ -1,0 +1,5 @@
+// Regenerates the paper's Figure 18 (bandwidth_by_protocol) from the full
+// simulated study. See bench_common.h for environment overrides.
+#include "bench_common.h"
+
+RV_FIGURE_BENCH_MAIN(fig18_bandwidth_by_protocol)

@@ -1,0 +1,5 @@
+// Regenerates the paper's Figure 19 (framerate_by_pc) from the full
+// simulated study. See bench_common.h for environment overrides.
+#include "bench_common.h"
+
+RV_FIGURE_BENCH_MAIN(fig19_framerate_by_pc)

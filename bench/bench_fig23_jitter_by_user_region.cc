@@ -1,0 +1,5 @@
+// Regenerates the paper's Figure 23 (jitter_by_user_region) from the full
+// simulated study. See bench_common.h for environment overrides.
+#include "bench_common.h"
+
+RV_FIGURE_BENCH_MAIN(fig23_jitter_by_user_region)

@@ -1,0 +1,5 @@
+// Regenerates the paper's Figure 26 (quality_all) from the full
+// simulated study. See bench_common.h for environment overrides.
+#include "bench_common.h"
+
+RV_FIGURE_BENCH_MAIN(fig26_quality_all)

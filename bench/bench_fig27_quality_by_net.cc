@@ -1,0 +1,5 @@
+// Regenerates the paper's Figure 27 (quality_by_net) from the full
+// simulated study. See bench_common.h for environment overrides.
+#include "bench_common.h"
+
+RV_FIGURE_BENCH_MAIN(fig27_quality_by_net)

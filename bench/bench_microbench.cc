@@ -1,0 +1,138 @@
+// Microbenchmarks of the simulation substrate: event scheduling, packet
+// forwarding, TCP bulk transfer, frame-schedule generation, reassembly and
+// CDF analysis. These bound how fast the full study can run and catch
+// performance regressions in the hot paths.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "media/catalog.h"
+#include "media/frame_schedule.h"
+#include "media/packetizer.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "stats/cdf.h"
+#include "transport/mux.h"
+#include "transport/tcp.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rv;
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(i, [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_PacketForwardingChain(benchmark::State& state) {
+  const auto hops = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network net(sim);
+    std::vector<net::NodeId> nodes;
+    for (std::size_t i = 0; i <= hops; ++i) {
+      nodes.push_back(net.add_node("n"));
+    }
+    for (std::size_t i = 0; i < hops; ++i) {
+      net.add_link(nodes[i], nodes[i + 1], mbps(100), msec(1));
+    }
+    net.compute_routes();
+    int delivered = 0;
+    net.node(nodes.back()).set_local_sink([&](net::Packet) { ++delivered; });
+    for (int i = 0; i < 100; ++i) {
+      net::Packet p;
+      p.src = nodes.front();
+      p.dst = nodes.back();
+      p.proto = net::Protocol::kUdp;
+      p.size_bytes = 1000;
+      net.send(p);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+}
+BENCHMARK(BM_PacketForwardingChain)->Arg(2)->Arg(8);
+
+void BM_TcpBulkTransfer(benchmark::State& state) {
+  struct Tag : net::PayloadMeta {};
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network net(sim);
+    const auto a = net.add_node("a");
+    const auto b = net.add_node("b");
+    net.add_link(a, b, mbps(10), msec(10));
+    net.compute_routes();
+    transport::TransportMux ma(net, a);
+    transport::TransportMux mb(net, b);
+    std::unique_ptr<transport::TcpConnection> accepted;
+    transport::TcpListener listener(
+        mb, 80, transport::TcpConfig{},
+        [&](std::unique_ptr<transport::TcpConnection> c) {
+          accepted = std::move(c);
+        });
+    transport::TcpConnection client(ma, transport::TcpConfig{});
+    client.set_on_established([&] {
+      for (int i = 0; i < 500; ++i) {
+        client.send_chunk(1000, std::make_shared<Tag>());
+      }
+    });
+    client.connect({b, 80});
+    sim.run_until(sec(10));
+    benchmark::DoNotOptimize(accepted->stats().bytes_delivered);
+  }
+}
+BENCHMARK(BM_TcpBulkTransfer);
+
+void BM_FrameScheduleGenerate(benchmark::State& state) {
+  media::CatalogSpec spec;
+  spec.clips_per_site = 1;
+  spec.playlist_size = 1;
+  const media::Catalog catalog(spec, {media::SiteProfile::kSportsNetwork});
+  const auto& clip = catalog.clip(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(media::FrameSchedule::generate(clip, 0));
+  }
+}
+BENCHMARK(BM_FrameScheduleGenerate);
+
+void BM_PacketizeReassemble(benchmark::State& state) {
+  media::VideoFrame frame;
+  frame.index = 1;
+  frame.pts = sec(1);
+  frame.bytes = 6000;
+  for (auto _ : state) {
+    std::uint32_t seq = 0;
+    const auto frags = media::packetize_frame(frame, 1, 0, 1000, seq);
+    media::FrameAssembler assembler;
+    std::optional<media::FrameAssembler::CompleteFrame> done;
+    for (const auto& f : frags) done = assembler.add(*f);
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_PacketizeReassemble);
+
+void BM_CdfBuildAndQuery(benchmark::State& state) {
+  util::Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 3000; ++i) xs.push_back(rng.normal(10.0, 5.0));
+  for (auto _ : state) {
+    const stats::Cdf cdf(xs);
+    double acc = 0;
+    for (double x = 0; x < 30; x += 0.5) acc += cdf.at(x);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_CdfBuildAndQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// The paper's congestion-collapse question (§I, §V.A, Figs 16-18): does
+// streaming video behave when the network is congested?
+//
+// Three servers stream the same clip through the same congested bottleneck
+// to three clients, one session per transport discipline:
+//   - TCP           (the transport congestion control does the work)
+//   - UDP + AIMD    (RealSystem-style application-layer control)
+//   - UDP unresponsive (the flow researchers worry about)
+//
+//   $ ./congestion_comparison
+#include <iostream>
+#include <memory>
+
+#include "client/real_player.h"
+#include "media/catalog.h"
+#include "net/cross_traffic.h"
+#include "net/network.h"
+#include "server/real_server.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace {
+
+struct SessionResult {
+  std::string label;
+  rv::client::ClipStats stats;
+};
+
+SessionResult run_session(const std::string& label,
+                          rv::server::CongestionControlKind control,
+                          bool use_tcp) {
+  using namespace rv;
+  media::CatalogSpec spec;
+  spec.clips_per_site = 8;
+  spec.playlist_size = 8;
+  const media::Catalog catalog(spec, {media::SiteProfile::kSportsNetwork});
+  // The clip with the deepest SureStream ladder makes the comparison vivid:
+  // the unresponsive sender refuses to leave the top level.
+  std::size_t pick = 0;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog.clip(i).levels().size() >
+        catalog.clip(pick).levels().size()) {
+      pick = i;
+    }
+  }
+
+  sim::Simulator sim;
+  net::Network network(sim);
+  const auto client_node = network.add_node("client");
+  const auto router_a = network.add_node("router-a");
+  const auto router_b = network.add_node("router-b");
+  const auto server_node = network.add_node("server");
+  network.add_link(client_node, router_a, mbps(10), msec(2));
+  // The congested bottleneck: 250 Kbps with bursty cross traffic.
+  network.add_link(router_a, router_b, kbps(250), msec(25), 16 * 1024);
+  network.add_link(router_b, server_node, mbps(10), msec(2));
+  network.compute_routes();
+
+  net::CrossTrafficConfig ct;
+  ct.burst_rate = kbps(200);
+  ct.mean_on = msec(500);
+  ct.mean_off = msec(500);
+  net::CrossTrafficSource cross(network, router_b, router_a, ct,
+                                util::Rng(99));
+  cross.start();
+
+  server::RealServerConfig server_cfg;
+  server_cfg.udp_control = control;
+  server::RealServerApp server(network, server_node, catalog, server_cfg,
+                               util::Rng(7));
+
+  client::RealPlayerConfig player_cfg;
+  player_cfg.reported_bandwidth = kbps(450);
+  player_cfg.prefer_udp = !use_tcp;
+  client::RealPlayerApp player(network, client_node,
+                               {server_node, net::kRtspPort},
+                               catalog.clip(pick).id(), catalog, player_cfg);
+  player.start();
+  sim.run_until(sec(150));
+  return {label, player.stats()};
+}
+
+}  // namespace
+
+int main() {
+  using rv::util::format_double;
+  std::cout << "One 250 Kbps bottleneck, ~40% bursty cross traffic, "
+               "same clip, three transport disciplines:\n\n";
+  const SessionResult sessions[] = {
+      run_session("TCP", rv::server::CongestionControlKind::kAimd, true),
+      run_session("UDP + AIMD", rv::server::CongestionControlKind::kAimd,
+                  false),
+      run_session("UDP unresponsive",
+                  rv::server::CongestionControlKind::kNone, false),
+  };
+  std::cout << "  transport          bw(Kbps)  fps   jitter(ms)  rebuffers\n";
+  for (const auto& s : sessions) {
+    std::cout << "  " << s.label
+              << std::string(s.label.size() < 18 ? 18 - s.label.size() : 1,
+                             ' ')
+              << format_double(rv::to_kbps(s.stats.measured_bandwidth), 0)
+              << "\t" << format_double(s.stats.measured_fps, 1) << "\t"
+              << format_double(s.stats.jitter_ms, 0) << "\t"
+              << s.stats.rebuffer_events << "\n";
+  }
+  std::cout << "\nThe paper's finding (Figs 17-18): RealVideo over UDP gets "
+               "bandwidth comparable to TCP\nover the duration of a clip — "
+               "the application-layer control is doing its job.\n";
+  return 0;
+}

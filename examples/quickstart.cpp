@@ -1,0 +1,75 @@
+// Quickstart: stream one RealVideo clip from a simulated RealServer to a
+// simulated RealPlayer and print the RealTracer-style statistics.
+//
+//   $ ./quickstart
+//
+// This is the smallest end-to-end use of the library: build a network,
+// put a server and a player on it, play, and read the stats.
+#include <iostream>
+
+#include "client/real_player.h"
+#include "media/catalog.h"
+#include "net/network.h"
+#include "server/real_server.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace rv;
+
+  // 1. A clip catalog: one site's worth of content.
+  media::CatalogSpec spec;
+  spec.clips_per_site = 5;
+  spec.playlist_size = 5;
+  const media::Catalog catalog(spec, {media::SiteProfile::kNewsBroadcaster});
+
+  // 2. A small network: client — ISP — backbone — server.
+  sim::Simulator sim;
+  net::Network network(sim);
+  const auto client_node = network.add_node("client");
+  const auto isp = network.add_node("isp");
+  const auto backbone = network.add_node("backbone");
+  const auto server_node = network.add_node("server");
+  network.add_link(client_node, isp, kbps(384), msec(8));   // DSL line
+  network.add_link(isp, backbone, mbps(10), msec(20));
+  network.add_link(backbone, server_node, mbps(45), msec(2));
+  network.compute_routes();
+
+  // 3. A RealServer with the catalog, and a RealPlayer asking for clip 1.
+  server::RealServerApp server(network, server_node, catalog, {},
+                               util::Rng(7));
+  client::RealPlayerConfig player_cfg;
+  player_cfg.reported_bandwidth = kbps(450);  // "DSL" in RealPlayer's setup
+  client::RealPlayerApp player(network, client_node,
+                               {server_node, net::kRtspPort},
+                               catalog.clip(1).id(), catalog, player_cfg);
+
+  // 4. Play and wait for the session to finish.
+  player.start();
+  sim.run_until(sec(120));
+
+  const auto& stats = player.stats();
+  const auto& clip = catalog.clip(1);
+  std::cout << "clip:               " << clip.title() << " ("
+            << clip.levels().size() << " SureStream levels)\n";
+  std::cout << "transport:          " << net::protocol_name(stats.protocol)
+            << "\n";
+  std::cout << "encoded bandwidth:  "
+            << util::format_double(to_kbps(stats.encoded_bandwidth), 0)
+            << " Kbps\n";
+  std::cout << "measured bandwidth: "
+            << util::format_double(to_kbps(stats.measured_bandwidth), 0)
+            << " Kbps\n";
+  std::cout << "encoded frame rate: "
+            << util::format_double(stats.encoded_fps, 1) << " fps\n";
+  std::cout << "measured frame rate:"
+            << util::format_double(stats.measured_fps, 1) << " fps\n";
+  std::cout << "playout jitter:     "
+            << util::format_double(stats.jitter_ms, 1) << " ms\n";
+  std::cout << "pre-roll:           "
+            << util::format_double(stats.preroll_seconds, 1) << " s\n";
+  std::cout << "rebuffer events:    " << stats.rebuffer_events << "\n";
+  std::cout << "frames played:      " << stats.frames_played << "\n";
+  return stats.played_any_frame ? 0 : 1;
+}

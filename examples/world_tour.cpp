@@ -1,0 +1,52 @@
+// A Massachusetts DSL user plays one clip from each of the study's 11
+// RealServer sites — the single-user version of the paper's server-side
+// geography question (Fig 14): does where the server sits matter?
+//
+//   $ ./world_tour
+#include <iostream>
+
+#include "study/study.h"
+#include "tracer/real_tracer.h"
+#include "util/strings.h"
+#include "world/region_graph.h"
+#include "world/servers.h"
+
+int main() {
+  using namespace rv;
+  study::StudyConfig config;
+  const media::Catalog catalog = study::make_catalog(config);
+  const world::RegionGraph graph;
+  const tracer::RealTracer tracer(catalog, graph, config.tracer);
+
+  world::UserProfile user;
+  user.id = 0;
+  user.country = "US";
+  user.us_state = "MA";
+  user.region = world::Region::kUsEast;
+  user.group = world::UserRegionGroup::kUsCanada;
+  user.connection = world::ConnectionClass::kDslCable;
+  user.pc_class = "Pentium III / 256-512MB";
+  user.isp_load_lo = 0.3;
+  user.isp_load_hi = 0.5;
+  user.seed = 1;
+
+  std::cout << "One DSL user in Massachusetts, one clip per server site:\n\n";
+  std::cout << "  server        rtt-ish  bw(Kbps)  fps   jitter(ms)\n";
+  for (std::size_t site = 0; site < world::server_sites().size(); ++site) {
+    // The playlist interleaves sites: clip at index `site` is site `site`.
+    const auto rec = tracer.run_single(user, site, 42 + site);
+    const auto& s = world::server_sites()[site];
+    const SimTime delay = graph.path_delay(user.region, s.region);
+    std::cout << "  " << s.name
+              << std::string(s.name.size() < 13 ? 13 - s.name.size() : 1, ' ')
+              << util::format_double(to_msec(delay) * 2.0, 0) << "ms\t"
+              << util::format_double(to_kbps(rec.stats.measured_bandwidth), 0)
+              << "\t"
+              << util::format_double(rec.stats.measured_fps, 1) << "\t"
+              << util::format_double(rec.stats.jitter_ms, 0) << "\n";
+  }
+  std::cout << "\nThe paper's Fig 14 finding: server geography matters "
+               "surprisingly little —\nthe server's own load matters more "
+               "than the ocean in between.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Plot the regenerated paper figures from the CSV series in fig_data/.
+
+The bench binaries render every figure as ASCII and also export the series as
+CSV; this optional helper turns those CSVs into PNGs that can be laid side by
+side with the paper's plots.
+
+Usage:
+    python3 scripts/plot_figures.py [--data fig_data] [--out fig_png]
+
+Requires matplotlib (not needed by the build, tests or benches).
+"""
+
+import argparse
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def load_series(path):
+    """Returns {series_label: ([x...], [y...])} for a CDF-style CSV."""
+    series = defaultdict(lambda: ([], []))
+    with open(path) as f:
+        reader = csv.DictReader(f)
+        fields = reader.fieldnames or []
+        for row in reader:
+            if "series" in fields and "x" in fields:
+                xs, ys = series[row["series"]]
+                xs.append(float(row["x"]))
+                ys.append(float(row["cdf"]))
+            elif "label" in fields and "count" in fields:
+                xs, ys = series["counts"]
+                xs.append(row["label"])
+                ys.append(float(row["count"]))
+            else:
+                # Generic two-or-more-column numeric CSV (fig01, fig28, ...).
+                xs, ys = series["data"]
+                xs.append(float(row[fields[0]]))
+                ys.append(float(row[fields[1]]))
+    return dict(series), (reader.fieldnames or [])
+
+
+def plot_file(plt, path, out_dir):
+    name = os.path.splitext(os.path.basename(path))[0]
+    series, fields = load_series(path)
+    if not series:
+        return False
+    fig, ax = plt.subplots(figsize=(6, 4))
+    bar_chart = "counts" in series
+    if bar_chart:
+        labels, values = series["counts"]
+        ax.barh(labels, values)
+        ax.set_xlabel("count")
+    else:
+        for label, (xs, ys) in sorted(series.items()):
+            ax.plot(xs, ys, label=label, linewidth=1.4)
+        if len(series) > 1:
+            ax.legend(fontsize=8)
+        ax.set_xlabel(fields[1] if fields and fields[0] == "series"
+                      else (fields[0] if fields else "x"))
+        if "cdf" in (fields or []):
+            ax.set_ylabel("Cumulative Density Function")
+            ax.set_ylim(0, 1.02)
+    ax.set_title(name.replace("_", " "))
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(os.path.join(out_dir, name + ".png"), dpi=130)
+    plt.close(fig)
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--data", default="fig_data")
+    parser.add_argument("--out", default="fig_png")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        sys.exit("matplotlib is required: pip install matplotlib")
+
+    if not os.path.isdir(args.data):
+        sys.exit(f"{args.data}/ not found — run the bench binaries first "
+                 "(e.g. ./build/bench/bench_fig_all)")
+    os.makedirs(args.out, exist_ok=True)
+    plotted = 0
+    for entry in sorted(os.listdir(args.data)):
+        if entry.endswith(".csv"):
+            if plot_file(plt, os.path.join(args.data, entry), args.out):
+                plotted += 1
+    print(f"wrote {plotted} figures to {args.out}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+#include "client/pc_class.h"
+
+namespace rv::client {
+
+const std::vector<PcClass>& pc_classes() {
+  // Calibrated so that only the Pentium-MMX/24MB class caps playout below
+  // the paper's 3 fps threshold (decode ≈ 300 ms/frame with thrashing),
+  // while every other class sustains 15+ fps on typical clip sizes.
+  static const std::vector<PcClass> kClasses = {
+      {"Intel Pentium MMX / 24MB", msec(228), 40.0},
+      {"Pentium II / 32MB", msec(20), 6.0},
+      {"Intel Celeron / 64-96MB", msec(13), 4.0},
+      {"Pentium II / 128-256", msec(11), 3.0},
+      {"AMD / 320-512MB", msec(8), 2.5},
+      {"Pentium III / 256-512MB", msec(6), 2.0},
+  };
+  return kClasses;
+}
+
+const PcClass& pc_class_by_name(std::string_view name) {
+  for (const auto& cls : pc_classes()) {
+    if (cls.name == name) return cls;
+  }
+  return pc_classes()[3];
+}
+
+}  // namespace rv::client

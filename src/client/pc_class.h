@@ -1,0 +1,35 @@
+// End-user PC power classes (paper Fig 19).
+//
+// The paper buckets user machines by CPU chip and RAM; only the oldest
+// generation (Pentium-MMX-class with 24 MB, which thrashes) is a streaming
+// bottleneck. Decode cost per frame models that: a fixed per-frame cost plus
+// a per-byte cost, both scaled by the class.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "util/units.h"
+
+namespace rv::client {
+
+struct PcClass {
+  std::string_view name;
+  // Fixed decode cost per frame and marginal cost per encoded byte.
+  SimTime per_frame_cost = 0;
+  double per_byte_cost_usec = 0.0;
+
+  SimTime decode_cost(std::int32_t frame_bytes) const {
+    return per_frame_cost +
+           static_cast<SimTime>(per_byte_cost_usec *
+                                static_cast<double>(frame_bytes));
+  }
+};
+
+// The six classes of Fig 19, ordered roughly by power.
+const std::vector<PcClass>& pc_classes();
+
+// Lookup by Fig 19 label; falls back to the mid-range class.
+const PcClass& pc_class_by_name(std::string_view name);
+
+}  // namespace rv::client

@@ -1,0 +1,241 @@
+#include "client/playout.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/summary.h"
+#include "util/check.h"
+
+namespace rv::client {
+
+PlayoutEngine::PlayoutEngine(sim::Simulator& sim, const PlayoutConfig& config)
+    : sim_(sim), config_(config), noise_rng_(config.noise_seed) {}
+
+void PlayoutEngine::start() {
+  RV_CHECK(!started_);
+  started_ = true;
+  start_time_ = sim_.now();
+  // If pre-roll never fills (dead connection), start with whatever arrived.
+  timer_event_ = sim_.schedule_in(config_.preroll_timeout, [this] {
+    timer_event_ = sim::kInvalidEventId;
+    if (state_ == State::kPreroll && !buffer_.empty()) begin_playout();
+  });
+}
+
+double PlayoutEngine::buffered_span_sec() const {
+  if (buffer_.empty()) return 0.0;
+  const SimTime from = playout_started_ ? play_pos_ : buffer_.begin()->first;
+  return to_seconds(std::max<SimTime>(0, buffer_.rbegin()->first - from));
+}
+
+void PlayoutEngine::on_frame(
+    const media::FrameAssembler::CompleteFrame& frame) {
+  if (state_ == State::kDone) return;
+  if (playout_started_ && frame.pts < play_pos_) {
+    ++late_drops_;  // arrived after its slot passed
+    return;
+  }
+  buffer_.emplace(frame.pts, frame);
+  switch (state_) {
+    case State::kPreroll:
+      maybe_begin_playout();
+      break;
+    case State::kRebuffering:
+      if (buffered_span_sec() >= config_.rebuffer_target_sec) {
+        resume_from_rebuffer();
+      }
+      break;
+    case State::kPlaying:
+      if (frame_event_ == sim::kInvalidEventId) schedule_next_frame();
+      break;
+    case State::kDone:
+      break;
+  }
+}
+
+void PlayoutEngine::on_end_of_stream() {
+  eos_ = true;
+  if (state_ == State::kRebuffering && buffer_.empty()) {
+    finish();
+  } else if (state_ == State::kPreroll) {
+    if (buffer_.empty()) {
+      finish();
+    } else {
+      begin_playout();
+    }
+  }
+}
+
+void PlayoutEngine::maybe_begin_playout() {
+  if (state_ != State::kPreroll) return;
+  if (buffered_span_sec() >= config_.preroll_target_sec) begin_playout();
+}
+
+void PlayoutEngine::begin_playout() {
+  RV_CHECK(state_ == State::kPreroll);
+  RV_CHECK(!buffer_.empty());
+  state_ = State::kPlaying;
+  playout_started_ = true;
+  wall_start_ = sim_.now();
+  media_start_ = buffer_.begin()->first;
+  play_pos_ = media_start_;
+  // The decoder starts idle: place its "busy until" well in the past so the
+  // SVT scaler never skips the very first frame.
+  decoder_free_at_ = sim_.now() > sec(1) ? sim_.now() - sec(1) : 0;
+  if (timer_event_ != sim::kInvalidEventId) {
+    sim_.cancel(timer_event_);
+    timer_event_ = sim::kInvalidEventId;
+  }
+  schedule_next_frame();
+}
+
+void PlayoutEngine::schedule_next_frame() {
+  if (state_ != State::kPlaying) return;
+  if (frame_event_ != sim::kInvalidEventId) return;
+  // Everything below play_pos_ has already played or expired.
+  const auto it = buffer_.lower_bound(play_pos_);
+  if (it == buffer_.end()) {
+    if (eos_) {
+      finish();
+    } else {
+      enter_rebuffer();
+    }
+    return;
+  }
+  const SimTime due = std::max(sim_.now(), deadline_of(it->first));
+  frame_event_ = sim_.schedule_at(due, [this] {
+    frame_event_ = sim::kInvalidEventId;
+    play_due_frames();
+  });
+}
+
+void PlayoutEngine::play_due_frames() {
+  if (state_ != State::kPlaying) return;
+  const SimTime now = sim_.now();
+  auto it = buffer_.lower_bound(play_pos_);
+  while (it != buffer_.end() && deadline_of(it->first) <= now) {
+    const auto& frame = it->second;
+    // SVT CPU scaler: if the decoder cannot sustain the incoming frame rate
+    // (§II.C "it will gradually reduce the frame rate in a controlled
+    // fashion"), skip delta frames so decode duty stays under the headroom:
+    // a frame is skipped when the decoder would still be busy (plus the
+    // idle slack the headroom requires) at its due time.
+    const SimTime this_cost = config_.pc.decode_cost(frame.bytes);
+    const double idle_ratio =
+        (1.0 - config_.cpu_headroom) / config_.cpu_headroom;
+    const bool scaler_skip =
+        !frame.keyframe &&
+        now < decoder_free_at_ +
+                  static_cast<SimTime>(static_cast<double>(this_cost) *
+                                       idle_ratio);
+    if (scaler_skip) {
+      ++cpu_scaled_;
+      play_pos_ = frame.pts + 1;
+      it = buffer_.erase(it);
+      continue;
+    }
+    // Decode: frames queue on the (single) decoder.
+    const SimTime cost = this_cost;
+    const SimTime play_time = std::max(now, decoder_free_at_) + cost;
+    decoder_free_at_ = play_time;
+    decode_busy_total_ += cost;
+    decode_cost_ewma_sec_ =
+        0.9 * decode_cost_ewma_sec_ + 0.1 * to_seconds(cost);
+    // Host display wobble: the frame reaches the screen a little late.
+    SimTime displayed_at = play_time;
+    if (config_.host_timing_noise_ms > 0.0) {
+      displayed_at += static_cast<SimTime>(
+          noise_rng_.exponential(config_.host_timing_noise_ms) * 1000.0);
+    }
+    play_times_.push_back(displayed_at);
+    last_play_time_ = play_time;
+    ++frames_played_;
+    play_pos_ = frame.pts + 1;
+    it = buffer_.erase(it);
+  }
+  schedule_next_frame();
+}
+
+void PlayoutEngine::enter_rebuffer() {
+  RV_CHECK(state_ == State::kPlaying);
+  state_ = State::kRebuffering;
+  stall_start_ = sim_.now();
+  ++rebuffer_events_;
+  // RealPlayer halts at most ~20 s, then plays whatever it has (or keeps
+  // waiting if it has nothing at all — the tracer's stop bounds the wait).
+  timer_event_ = sim_.schedule_in(config_.rebuffer_max_wait, [this] {
+    timer_event_ = sim::kInvalidEventId;
+    if (state_ != State::kRebuffering) return;
+    if (!buffer_.empty()) {
+      resume_from_rebuffer();
+    } else if (eos_) {
+      finish();
+    }
+    // else: keep stalling; an arriving frame or stop() breaks the wait.
+  });
+}
+
+void PlayoutEngine::resume_from_rebuffer() {
+  RV_CHECK(state_ == State::kRebuffering);
+  if (timer_event_ != sim::kInvalidEventId) {
+    sim_.cancel(timer_event_);
+    timer_event_ = sim::kInvalidEventId;
+  }
+  const SimTime stall = sim_.now() - stall_start_;
+  stall_accum_ += stall;
+  rebuffer_total_ += stall;
+  state_ = State::kPlaying;
+  // Jump the playout position to the first buffered frame: everything the
+  // stall skipped over is gone.
+  if (!buffer_.empty()) {
+    play_pos_ = std::min(play_pos_, buffer_.begin()->first);
+  }
+  schedule_next_frame();
+}
+
+void PlayoutEngine::finish() {
+  if (state_ == State::kDone) return;
+  if (state_ == State::kRebuffering) {
+    rebuffer_total_ += sim_.now() - stall_start_;
+  }
+  state_ = State::kDone;
+  sim_.cancel(frame_event_);
+  sim_.cancel(timer_event_);
+  frame_event_ = sim::kInvalidEventId;
+  timer_event_ = sim::kInvalidEventId;
+
+  result_.played_any = frames_played_ > 0;
+  result_.frames_played = frames_played_;
+  result_.frames_dropped = late_drops_ + network_drops_;
+  result_.frames_cpu_scaled = cpu_scaled_;
+  result_.rebuffer_events = rebuffer_events_;
+  result_.rebuffer_seconds = to_seconds(rebuffer_total_);
+  if (playout_started_) {
+    result_.preroll_seconds = to_seconds(wall_start_ - start_time_);
+    const double play_sec = to_seconds(sim_.now() - wall_start_);
+    result_.play_seconds = play_sec;
+    if (play_sec > 0) {
+      result_.measured_fps =
+          static_cast<double>(frames_played_) / play_sec;
+      result_.cpu_utilization =
+          std::min(1.0, to_seconds(decode_busy_total_) / play_sec);
+    }
+    if (play_times_.size() >= 3) {
+      stats::Summary gaps;
+      for (std::size_t i = 1; i < play_times_.size(); ++i) {
+        gaps.add(to_msec(play_times_[i] - play_times_[i - 1]));
+      }
+      result_.jitter_ms = gaps.stddev();
+    }
+  } else {
+    result_.preroll_seconds = to_seconds(sim_.now() - start_time_);
+  }
+  if (on_done_) on_done_();
+}
+
+void PlayoutEngine::stop() {
+  if (!started_ || state_ == State::kDone) return;
+  finish();
+}
+
+}  // namespace rv::client

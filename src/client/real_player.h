@@ -1,0 +1,140 @@
+// RealPlayer analog: RTSP session control, transport auto-configuration
+// (UDP-first with TCP fallback), data reception/reassembly, loss feedback,
+// NAK repair requests, and the playout engine — producing the per-clip
+// statistics RealTracer records.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+
+#include "client/clip_stats.h"
+#include "client/playout.h"
+#include "media/catalog.h"
+#include "media/packetizer.h"
+#include "media/stream_wire.h"
+#include "net/network.h"
+#include "rtsp/http.h"
+#include "rtsp/message.h"
+#include "transport/mux.h"
+#include "transport/tcp.h"
+#include "transport/udp.h"
+
+namespace rv::client {
+
+struct RealPlayerConfig {
+  PlayoutConfig playout;
+  transport::TcpConfig tcp;
+  // The connection speed the user configured in RealPlayer (guides the
+  // server's initial SureStream level).
+  BitsPerSec reported_bandwidth = kbps(450);
+  bool prefer_udp = true;   // RealPlayer's auto transport configuration
+  bool udp_blocked = false; // NAT/firewall silently eats inbound UDP
+  // Fetch the .ram metafile over HTTP first, as a browser click does
+  // (§II.A); the rtsp:// URL inside it then drives the session.
+  bool fetch_metafile = true;
+  net::Port http_port = 80;
+  SimTime udp_probe_timeout = sec(4);   // no data → reconnect over TCP
+  SimTime feedback_interval = msec(500);
+  SimTime watch_duration = sec(60);     // RealTracer plays 1 minute per clip
+  SimTime session_timeout = sec(100);   // hard abort for dead sessions
+};
+
+class RealPlayerApp {
+ public:
+  RealPlayerApp(net::Network& network, net::NodeId node,
+                net::Endpoint server, std::uint32_t clip_id,
+                const media::Catalog& catalog, RealPlayerConfig config);
+  ~RealPlayerApp();
+
+  RealPlayerApp(const RealPlayerApp&) = delete;
+  RealPlayerApp& operator=(const RealPlayerApp&) = delete;
+
+  void start();
+  void set_on_finished(std::function<void()> cb) {
+    on_finished_ = std::move(cb);
+  }
+  bool finished() const { return finished_; }
+  // Whether the server reported the clip as unavailable (404).
+  bool clip_unavailable() const { return clip_unavailable_; }
+  const ClipStats& stats() const { return stats_; }
+  const PlayoutEngine& playout() const { return *playout_; }
+
+ private:
+  void fetch_metafile();
+  void open_control();
+  void send_request(rtsp::Method method);
+  void on_control_chunk(std::shared_ptr<const net::PayloadMeta> meta,
+                        std::int64_t bytes);
+  void on_response(const rtsp::Response& resp);
+  void handle_media(const std::shared_ptr<const media::MediaPacketMeta>& meta);
+  void on_play_confirmed();
+  void on_play_confirmed_poll();
+  void send_feedback();
+  void fall_back_to_tcp();
+  void take_second_sample();
+  void note_level(std::uint16_t level);
+  void finish();
+
+  net::Network& network_;
+  transport::TransportMux mux_;
+  net::Endpoint server_;
+  std::uint32_t clip_id_;
+  const media::Catalog& catalog_;
+  const media::Clip* clip_ = nullptr;
+  RealPlayerConfig config_;
+
+  std::unique_ptr<transport::TcpConnection> control_;
+  std::unique_ptr<transport::TcpConnection> http_conn_;
+  std::unique_ptr<transport::UdpSocket> data_socket_;
+  std::unique_ptr<PlayoutEngine> playout_;
+  media::FrameAssembler assembler_;
+  media::LossMonitor loss_monitor_;
+
+  bool using_udp_ = true;
+  bool fallback_done_ = false;
+  bool playing_ = false;
+  bool finished_ = false;
+  bool clip_unavailable_ = false;
+  int cseq_ = 0;
+  std::deque<rtsp::Method> pending_;
+  net::Endpoint server_data_;
+
+  // Repair tracking (UDP): sequence numbers seen missing, not yet NAKed.
+  std::set<std::uint32_t> missing_seqs_;
+  std::uint32_t next_expected_seq_ = 0;
+  bool seen_any_seq_ = false;
+
+  // RTT echo state.
+  SimTime last_echo_ts_ = 0;
+  SimTime last_echo_arrival_ = 0;
+
+  // Level/bandwidth accounting (time-weighted encoded rate and fps).
+  std::uint16_t current_level_ = 0;
+  bool level_known_ = false;
+  SimTime level_since_ = 0;
+  double level_weight_sec_ = 0.0;
+  double weighted_bw_ = 0.0;
+  double weighted_fps_ = 0.0;
+  double clip_action_avg_ = 1.0;
+
+  // Per-second sampling.
+  std::int64_t last_feedback_bytes_ = 0;
+  std::int64_t last_sample_bytes_ = 0;
+  std::int64_t last_sample_frames_ = 0;
+  SimTime play_confirm_time_ = 0;
+
+  sim::EventId feedback_event_ = sim::kInvalidEventId;
+  sim::EventId probe_event_ = sim::kInvalidEventId;
+  sim::EventId watch_event_ = sim::kInvalidEventId;
+  sim::EventId watchdog_event_ = sim::kInvalidEventId;
+  sim::EventId sample_event_ = sim::kInvalidEventId;
+  sim::EventId poll_event_ = sim::kInvalidEventId;
+
+  ClipStats stats_;
+  std::function<void()> on_finished_;
+};
+
+}  // namespace rv::client

@@ -1,0 +1,157 @@
+#include "media/catalog.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace rv::media {
+namespace {
+
+struct KindWeights {
+  double news;
+  double sports;
+  double music;
+  double trailer;
+};
+
+KindWeights weights_for(SiteProfile profile) {
+  switch (profile) {
+    case SiteProfile::kNewsBroadcaster:
+      return {0.70, 0.10, 0.05, 0.15};
+    case SiteProfile::kSportsNetwork:
+      return {0.15, 0.65, 0.05, 0.15};
+    case SiteProfile::kEntertainment:
+      return {0.10, 0.10, 0.45, 0.35};
+  }
+  return {0.25, 0.25, 0.25, 0.25};
+}
+
+ClipKind pick_kind(util::Rng& rng, SiteProfile profile) {
+  const KindWeights w = weights_for(profile);
+  const double weights[] = {w.news, w.sports, w.music, w.trailer};
+  switch (rng.weighted_index(weights)) {
+    case 0:
+      return ClipKind::kNews;
+    case 1:
+      return ClipKind::kSports;
+    case 2:
+      return ClipKind::kMusicVideo;
+    default:
+      return ClipKind::kMovieTrailer;
+  }
+}
+
+AudioContent audio_for(ClipKind kind) {
+  switch (kind) {
+    case ClipKind::kNews:
+      return AudioContent::kVoice;
+    case ClipKind::kSports:
+      return AudioContent::kVoice;
+    case ClipKind::kMusicVideo:
+      return AudioContent::kStereoMusic;
+    case ClipKind::kMovieTrailer:
+      return AudioContent::kMusic;
+  }
+  return AudioContent::kVoice;
+}
+
+// Builds the SureStream ladder for one clip. In 2001 most content was
+// encoded for modem audiences, with SureStream adding broadband levels on
+// better-funded sites.
+std::vector<EncodingLevel> pick_levels(util::Rng& rng, ClipKind kind) {
+  const auto& targets = target_audiences();
+  const AudioContent audio = audio_for(kind);
+  std::vector<EncodingLevel> levels;
+  const double r = rng.uniform();
+  if (r < 0.10) {
+    // Single-rate modem clip (20K or 34K).
+    levels.push_back(make_level(targets[rng.bernoulli(0.5) ? 0 : 1], audio));
+  } else if (r < 0.35) {
+    // Modem SureStream: 20/34/45/80.
+    for (std::size_t i = 0; i < 4; ++i) {
+      levels.push_back(make_level(targets[i], audio));
+    }
+  } else if (r < 0.75) {
+    // Broadband SureStream: 34/80/150/225 — providers targeting broadband
+    // audiences set the "56k modem" stream as the floor.
+    for (const std::size_t i : {1u, 3u, 4u, 5u}) {
+      levels.push_back(make_level(targets[i], audio));
+    }
+  } else {
+    // Full ladder, 34K floor, up to 450K.
+    for (std::size_t i = 1; i < targets.size(); ++i) {
+      levels.push_back(make_level(targets[i], audio));
+    }
+  }
+  return levels;
+}
+
+SimTime pick_duration(util::Rng& rng, ClipKind kind) {
+  // Clip lengths of the period: trailers ~1-2.5 min, news items 1-5 min,
+  // music videos 3-5 min. (RealTracer plays 1 minute by default.)
+  double lo = 60.0;
+  double hi = 240.0;
+  switch (kind) {
+    case ClipKind::kMovieTrailer:
+      lo = 60.0;
+      hi = 150.0;
+      break;
+    case ClipKind::kMusicVideo:
+      lo = 180.0;
+      hi = 300.0;
+      break;
+    case ClipKind::kNews:
+      lo = 60.0;
+      hi = 300.0;
+      break;
+    case ClipKind::kSports:
+      lo = 90.0;
+      hi = 300.0;
+      break;
+  }
+  return seconds_to_sim(rng.uniform(lo, hi));
+}
+
+}  // namespace
+
+Catalog::Catalog(const CatalogSpec& spec,
+                 const std::vector<SiteProfile>& site_profiles) {
+  RV_CHECK(!site_profiles.empty());
+  RV_CHECK_GT(spec.clips_per_site, 0);
+  util::Rng rng(spec.seed ^ 0xCA7A106ull);
+  std::vector<util::Rng> site_rngs;
+  for (std::size_t site = 0; site < site_profiles.size(); ++site) {
+    site_rngs.push_back(rng.fork(site));
+  }
+  // Interleave the playlist across sites (slot 0 of every site, then slot 1,
+  // ...) so a user who plays only a playlist prefix still samples every
+  // server — as the study's playlist mixed sites for variety.
+  for (int slot = 0; slot < spec.clips_per_site; ++slot) {
+    for (std::size_t site = 0; site < site_profiles.size(); ++site) {
+      if (clips_.size() >= static_cast<std::size_t>(spec.playlist_size)) {
+        break;
+      }
+      util::Rng& site_rng = site_rngs[site];
+      const ClipKind kind = pick_kind(site_rng, site_profiles[site]);
+      const auto id = static_cast<std::uint32_t>(
+          site * 100 + static_cast<std::size_t>(slot));
+      clips_.emplace_back(
+          id,
+          util::str_cat("site", site, "/", clip_kind_name(kind), "-", slot),
+          kind, pick_duration(site_rng, kind), pick_levels(site_rng, kind),
+          site_rng.next_u64());
+    }
+  }
+}
+
+std::vector<std::size_t> Catalog::clips_of_site(std::size_t site) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < clips_.size(); ++i) {
+    if (site_of(clips_[i].id()) == site) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace rv::media

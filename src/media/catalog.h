@@ -1,0 +1,47 @@
+// The study playlist: a deterministic catalog of clips per server site.
+//
+// The paper's playlist had 98 clips spread over 11 RealServers in 8
+// countries, with "a variety of video content" per site (§III.B). We
+// generate a content mix per site profile, deterministically from a master
+// seed, so every component of the study sees the same catalog.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "media/clip.h"
+
+namespace rv::media {
+
+// What kind of content a site mostly serves (shapes clip kind, duration and
+// encoding ladder choices).
+enum class SiteProfile { kNewsBroadcaster, kSportsNetwork, kEntertainment };
+
+struct CatalogSpec {
+  std::uint64_t seed = 2001;
+  int clips_per_site = 9;  // 11 sites → 99; trimmed to playlist_size
+  int playlist_size = 98;  // the paper's playlist length
+};
+
+class Catalog {
+ public:
+  // `site_profiles[i]` is site i's profile; clip ids encode the site as
+  // id / 100 (site) and id % 100 (slot).
+  Catalog(const CatalogSpec& spec,
+          const std::vector<SiteProfile>& site_profiles);
+
+  const std::vector<Clip>& clips() const { return clips_; }
+  const Clip& clip(std::size_t i) const { return clips_.at(i); }
+  std::size_t size() const { return clips_.size(); }
+
+  static std::size_t site_of(std::uint32_t clip_id) { return clip_id / 100; }
+
+  // All playlist indices served by `site`.
+  std::vector<std::size_t> clips_of_site(std::size_t site) const;
+
+ private:
+  std::vector<Clip> clips_;
+};
+
+}  // namespace rv::media

@@ -1,0 +1,104 @@
+#include "media/clip.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rv::media {
+
+std::string_view clip_kind_name(ClipKind kind) {
+  switch (kind) {
+    case ClipKind::kNews:
+      return "news";
+    case ClipKind::kSports:
+      return "sports";
+    case ClipKind::kMusicVideo:
+      return "music-video";
+    case ClipKind::kMovieTrailer:
+      return "movie-trailer";
+  }
+  return "?";
+}
+
+Clip::Clip(std::uint32_t id, std::string title, ClipKind kind,
+           SimTime duration, std::vector<EncodingLevel> levels,
+           std::uint64_t seed)
+    : id_(id),
+      title_(std::move(title)),
+      kind_(kind),
+      duration_(duration),
+      levels_(std::move(levels)),
+      seed_(seed) {
+  RV_CHECK(!levels_.empty());
+  RV_CHECK_GT(duration_, 0);
+  std::sort(levels_.begin(), levels_.end(),
+            [](const EncodingLevel& a, const EncodingLevel& b) {
+              return a.total_bandwidth < b.total_bandwidth;
+            });
+  for (const auto& l : levels_) {
+    RV_CHECK_GT(l.video_bandwidth(), 0.0)
+        << "audio codec exceeds clip bandwidth";
+    RV_CHECK_GT(l.encoded_fps, 0.0);
+  }
+  generate_scenes();
+}
+
+std::size_t Clip::best_level_for(BitsPerSec rate) const {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].total_bandwidth <= rate) best = i;
+  }
+  return best;
+}
+
+double Clip::action_at(SimTime t) const {
+  for (const auto& scene : scenes_) {
+    if (t >= scene.start && t < scene.start + scene.duration) {
+      return scene.action;
+    }
+  }
+  return scenes_.empty() ? 1.0 : scenes_.back().action;
+}
+
+void Clip::generate_scenes() {
+  // Deterministic from the clip seed: scene structure is a property of the
+  // content, identical for every viewer and level.
+  util::Rng rng(seed_ ^ 0x5CE9E5u);
+  // Higher-action content (sports, music videos) has shorter scenes and a
+  // higher action floor.
+  double action_lo = 0.75;
+  double action_hi = 1.0;
+  double mean_scene_sec = 10.0;
+  switch (kind_) {
+    case ClipKind::kNews:
+      action_lo = 0.70;
+      mean_scene_sec = 14.0;
+      break;
+    case ClipKind::kSports:
+      action_lo = 0.85;
+      mean_scene_sec = 7.0;
+      break;
+    case ClipKind::kMusicVideo:
+      action_lo = 0.80;
+      mean_scene_sec = 5.0;
+      break;
+    case ClipKind::kMovieTrailer:
+      action_lo = 0.75;
+      mean_scene_sec = 8.0;
+      break;
+  }
+  SimTime t = 0;
+  while (t < duration_) {
+    Scene scene;
+    scene.start = t;
+    const double len_sec =
+        std::clamp(rng.exponential(mean_scene_sec), 2.0, 40.0);
+    scene.duration =
+        std::min(seconds_to_sim(len_sec), duration_ - t);
+    scene.action = rng.uniform(action_lo, action_hi);
+    scenes_.push_back(scene);
+    t += scene.duration;
+  }
+}
+
+}  // namespace rv::media

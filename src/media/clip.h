@@ -1,0 +1,64 @@
+// A RealVideo clip: SureStream encoding ladder + scene structure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "media/codec.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace rv::media {
+
+enum class ClipKind { kNews, kSports, kMusicVideo, kMovieTrailer };
+
+std::string_view clip_kind_name(ClipKind kind);
+
+// A contiguous run of similar "action" within the clip. §V of the paper:
+// "During encoding, RealVideo adjusts the frame rate by keeping the frame
+// rate up in high-action scenes, and reducing it in low-action scenes" — the
+// action factor scales the encoded frame rate within the scene.
+struct Scene {
+  SimTime start = 0;
+  SimTime duration = 0;
+  double action = 1.0;  // in (0, 1]: multiplier on the level's encoded fps
+};
+
+class Clip {
+ public:
+  // Levels must be non-empty; they are sorted ascending by total bandwidth.
+  Clip(std::uint32_t id, std::string title, ClipKind kind, SimTime duration,
+       std::vector<EncodingLevel> levels, std::uint64_t seed);
+
+  std::uint32_t id() const { return id_; }
+  const std::string& title() const { return title_; }
+  ClipKind kind() const { return kind_; }
+  SimTime duration() const { return duration_; }
+  std::uint64_t seed() const { return seed_; }
+
+  const std::vector<EncodingLevel>& levels() const { return levels_; }
+  const EncodingLevel& level(std::size_t i) const { return levels_.at(i); }
+  bool is_surestream() const { return levels_.size() > 1; }
+
+  // Highest level whose bandwidth fits within `rate`; falls back to the
+  // lowest level when even that does not fit (a stream must always flow).
+  std::size_t best_level_for(BitsPerSec rate) const;
+
+  const std::vector<Scene>& scenes() const { return scenes_; }
+  // Action factor at media time `t`.
+  double action_at(SimTime t) const;
+
+ private:
+  void generate_scenes();
+
+  std::uint32_t id_;
+  std::string title_;
+  ClipKind kind_;
+  SimTime duration_;
+  std::vector<EncodingLevel> levels_;
+  std::uint64_t seed_;
+  std::vector<Scene> scenes_;
+};
+
+}  // namespace rv::media

@@ -1,0 +1,52 @@
+#include "media/codec.h"
+
+namespace rv::media {
+
+AudioCodec audio_codec_for(AudioContent content, BitsPerSec total_bandwidth) {
+  switch (content) {
+    case AudioContent::kVoice:
+      if (total_bandwidth < kbps(32)) return {"voice-5k", kbps(5)};
+      if (total_bandwidth < kbps(100)) return {"voice-8.5k", kbps(8.5)};
+      return {"voice-16k", kbps(16)};
+    case AudioContent::kMusic:
+      if (total_bandwidth < kbps(32)) return {"music-11k", kbps(11)};
+      if (total_bandwidth < kbps(100)) return {"music-16k", kbps(16)};
+      return {"music-32k", kbps(32)};
+    case AudioContent::kStereoMusic:
+      // Below ~32 Kbps total there is no room for stereo; RealProducer
+      // falls back to mono music codecs.
+      if (total_bandwidth < kbps(32)) return {"music-11k", kbps(11)};
+      if (total_bandwidth < kbps(45)) return {"stereo-20k", kbps(20)};
+      if (total_bandwidth < kbps(150)) return {"stereo-32k", kbps(32)};
+      return {"stereo-44k", kbps(44)};
+  }
+  return {"voice-5k", kbps(5)};
+}
+
+const std::vector<TargetAudience>& target_audiences() {
+  static const std::vector<TargetAudience> kTargets = {
+      {"28k-modem", kbps(20), 8.0},
+      {"56k-modem", kbps(34), 12.0},
+      {"single-isdn", kbps(45), 15.0},
+      {"dual-isdn", kbps(80), 15.0},
+      {"corporate-lan", kbps(150), 20.0},
+      {"dsl-256k", kbps(225), 22.0},
+      {"dsl-384k", kbps(350), 26.0},
+      {"dsl-512k", kbps(450), 30.0},
+  };
+  return kTargets;
+}
+
+EncodingLevel make_level(const TargetAudience& target, AudioContent content) {
+  EncodingLevel level;
+  level.total_bandwidth = target.total_bandwidth;
+  level.audio_bandwidth = audio_codec_for(content, target.total_bandwidth).rate;
+  level.encoded_fps = target.encoded_fps;
+  // Keyframe roughly every 4 seconds of video.
+  level.keyframe_interval =
+      static_cast<int>(target.encoded_fps * 4.0);
+  if (level.keyframe_interval < 4) level.keyframe_interval = 4;
+  return level;
+}
+
+}  // namespace rv::media

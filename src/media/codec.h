@@ -1,0 +1,54 @@
+// Audio codecs and SureStream encoding levels.
+//
+// §II.C of the paper: "A portion of a RealVideo clip's bandwidth first goes
+// toward the audio, leaving the remainder of the track for the video" — e.g.
+// a 20 Kbps clip with a 5 Kbps voice codec leaves 15 Kbps for video. The
+// codec table and the per-target-bandwidth presets follow the RealProducer 8
+// user's guide the paper cites [Rea00a].
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "util/units.h"
+
+namespace rv::media {
+
+enum class AudioContent { kVoice, kMusic, kStereoMusic };
+
+struct AudioCodec {
+  std::string_view name;
+  BitsPerSec rate;
+};
+
+// The codec RealProducer would pick for the given content type within a
+// total clip bandwidth budget.
+AudioCodec audio_codec_for(AudioContent content, BitsPerSec total_bandwidth);
+
+// One SureStream encoding of a clip.
+struct EncodingLevel {
+  BitsPerSec total_bandwidth = 0;  // audio + video
+  BitsPerSec audio_bandwidth = 0;
+  double encoded_fps = 15.0;       // max frame rate at this level
+  int keyframe_interval = 60;      // frames between keyframes
+
+  BitsPerSec video_bandwidth() const {
+    return total_bandwidth - audio_bandwidth;
+  }
+};
+
+// RealProducer 8 target-audience presets (Kbps): 20 (28.8 modem), 34 (56k
+// modem), 45 (single ISDN), 80 (dual ISDN), 150 (corporate LAN), 225
+// (256k DSL/cable), 350 (384k DSL/cable), 450 (512k DSL/cable).
+struct TargetAudience {
+  std::string_view name;
+  BitsPerSec total_bandwidth;
+  double encoded_fps;
+};
+
+const std::vector<TargetAudience>& target_audiences();
+
+// Builds an encoding level for a target audience and audio content type.
+EncodingLevel make_level(const TargetAudience& target, AudioContent content);
+
+}  // namespace rv::media

@@ -1,0 +1,78 @@
+#include "media/frame_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rv::media {
+namespace {
+
+// Keyframes carry several times the bits of a delta frame.
+constexpr double kKeyframeFactor = 3.0;
+// Lognormal sigma for frame-size variation.
+constexpr double kSizeSigma = 0.30;
+
+}  // namespace
+
+FrameSchedule FrameSchedule::generate(const Clip& clip,
+                                      std::size_t level_index) {
+  const EncodingLevel& level = clip.level(level_index);
+  FrameSchedule sched;
+  sched.duration_ = clip.duration();
+
+  util::Rng rng(clip.seed() ^ (0xF00Du + level_index));
+  // Compensate the lognormal mean so the noise is rate-neutral.
+  const double lognormal_mean_fix = std::exp(-kSizeSigma * kSizeSigma / 2.0);
+  const int kf_interval = std::max(level.keyframe_interval, 2);
+  // Scale all frames down so keyframes don't push the level over its rate:
+  // with one keyframe (factor K) every N frames, mean factor = (N-1+K)/N.
+  const double kf_mean =
+      (static_cast<double>(kf_interval - 1) + kKeyframeFactor) /
+      static_cast<double>(kf_interval);
+
+  SimTime t = 0;
+  std::int32_t index = 0;
+  while (t < clip.duration()) {
+    const double action = clip.action_at(t);
+    const double fps = std::max(2.0, level.encoded_fps * action);
+    const SimTime interval = seconds_to_sim(1.0 / fps);
+    VideoFrame frame;
+    frame.index = index;
+    frame.pts = t;
+    frame.keyframe = (index % kf_interval) == 0;
+    // Bits for this frame: the video track's share of the inter-frame gap.
+    const double base_bytes =
+        level.video_bandwidth() * to_seconds(interval) / 8.0 / kf_mean;
+    const double factor = (frame.keyframe ? kKeyframeFactor : 1.0) *
+                          rng.lognormal(0.0, kSizeSigma) * lognormal_mean_fix;
+    frame.bytes =
+        std::max<std::int32_t>(32, static_cast<std::int32_t>(
+                                       std::round(base_bytes * factor)));
+    sched.frames_.push_back(frame);
+    sched.total_bytes_ += frame.bytes;
+    t += interval;
+    ++index;
+  }
+  RV_CHECK(!sched.frames_.empty());
+  return sched;
+}
+
+double FrameSchedule::average_fps() const {
+  RV_CHECK(!frames_.empty());
+  return static_cast<double>(frames_.size()) / to_seconds(duration_);
+}
+
+BitsPerSec FrameSchedule::average_video_bandwidth() const {
+  return static_cast<double>(total_bytes_) * 8.0 / to_seconds(duration_);
+}
+
+std::size_t FrameSchedule::first_frame_at(SimTime t) const {
+  const auto it = std::lower_bound(
+      frames_.begin(), frames_.end(), t,
+      [](const VideoFrame& f, SimTime value) { return f.pts < value; });
+  return static_cast<std::size_t>(it - frames_.begin());
+}
+
+}  // namespace rv::media

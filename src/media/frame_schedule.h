@@ -1,0 +1,48 @@
+// Per-level frame schedules: the exact frames (timestamps, sizes, keyframes)
+// the encoder produced for one SureStream level of a clip.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "media/clip.h"
+#include "util/units.h"
+
+namespace rv::media {
+
+struct VideoFrame {
+  std::int32_t index = 0;
+  SimTime pts = 0;          // presentation timestamp within the clip
+  std::int32_t bytes = 0;   // encoded size
+  bool keyframe = false;
+};
+
+class FrameSchedule {
+ public:
+  // Generates the frame sequence for `level_index` of `clip`. Deterministic:
+  // the same (clip, level) always yields the same schedule.
+  static FrameSchedule generate(const Clip& clip, std::size_t level_index);
+
+  std::span<const VideoFrame> frames() const { return frames_; }
+  std::size_t size() const { return frames_.size(); }
+  const VideoFrame& frame(std::size_t i) const { return frames_.at(i); }
+  std::int64_t total_bytes() const { return total_bytes_; }
+  SimTime duration() const { return duration_; }
+
+  // Average encoded frame rate over the whole clip (frames / duration) —
+  // what RealTracer reports as the clip's "encoded frame rate".
+  double average_fps() const;
+  // Average encoded video bandwidth (bits/sec).
+  BitsPerSec average_video_bandwidth() const;
+
+  // Index of the first frame with pts >= t (== size() when past the end).
+  std::size_t first_frame_at(SimTime t) const;
+
+ private:
+  std::vector<VideoFrame> frames_;
+  std::int64_t total_bytes_ = 0;
+  SimTime duration_ = 0;
+};
+
+}  // namespace rv::media

@@ -1,0 +1,112 @@
+// Media packetisation: frames → transport payloads, and reassembly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "media/frame_schedule.h"
+#include "net/packet.h"
+#include "util/units.h"
+
+namespace rv::media {
+
+enum class MediaKind : std::uint8_t { kVideo, kAudio, kRepair, kEndOfStream };
+
+// Application metadata carried by every media packet (over UDP datagrams or
+// as TCP chunks).
+struct MediaPacketMeta : net::PayloadMeta {
+  std::uint32_t clip_id = 0;
+  std::uint16_t level = 0;
+  MediaKind kind = MediaKind::kVideo;
+  std::int32_t frame_index = 0;
+  SimTime pts = 0;
+  bool keyframe = false;
+  std::int32_t frag_index = 0;
+  std::int32_t frag_count = 1;
+  std::int32_t frame_bytes = 0;    // whole-frame size
+  std::int32_t payload_bytes = 0;  // this fragment's size
+  std::uint32_t seq = 0;           // per-session media packet sequence
+  SimTime sent_at = 0;             // server clock at send (RTT echo)
+};
+
+// Fragments a frame into payloads of at most `max_payload` bytes. `seq` is
+// the session-wide media packet counter, advanced per fragment.
+std::vector<std::shared_ptr<MediaPacketMeta>> packetize_frame(
+    const VideoFrame& frame, std::uint32_t clip_id, std::uint16_t level,
+    std::int32_t max_payload, std::uint32_t& seq);
+
+// Reassembles frames from (possibly lost, reordered or duplicated)
+// fragments. One per streaming session, client side.
+class FrameAssembler {
+ public:
+  struct CompleteFrame {
+    std::int32_t frame_index;
+    SimTime pts;
+    std::int32_t bytes;
+    bool keyframe;
+    std::uint16_t level;
+  };
+
+  // Feeds one received fragment; returns the completed frame when this
+  // fragment was the last missing piece (duplicates are ignored).
+  std::optional<CompleteFrame> add(const MediaPacketMeta& meta);
+
+  // Frames with pts below `horizon` can no longer play; drop partial state
+  // and return how many incomplete frames were discarded.
+  std::size_t discard_before(SimTime horizon);
+
+  std::size_t partial_frames() const { return partial_.size(); }
+
+ private:
+  struct Partial {
+    std::vector<bool> got;
+    std::int32_t received = 0;
+    SimTime pts = 0;
+    std::int32_t frame_bytes = 0;
+    bool keyframe = false;
+    std::uint16_t level = 0;
+  };
+  // Keyed by (level, frame_index): frame indices restart per SureStream
+  // level, so fragments from different levels must never be mixed.
+  using Key = std::uint64_t;
+  static Key key_of(std::uint16_t level, std::int32_t frame_index) {
+    return (static_cast<Key>(level) << 32) |
+           static_cast<Key>(static_cast<std::uint32_t>(frame_index));
+  }
+  std::map<Key, Partial> partial_;
+};
+
+// Watches the media packet sequence numbers to report loss per feedback
+// interval (client side, feeds the server's rate controller).
+class LossMonitor {
+ public:
+  // Records an arriving packet's sequence number.
+  void on_packet(std::uint32_t seq);
+
+  struct IntervalReport {
+    std::int64_t received = 0;
+    std::int64_t expected = 0;  // from sequence-number span
+    double loss_fraction() const {
+      return expected <= 0
+                 ? 0.0
+                 : static_cast<double>(expected - received) /
+                       static_cast<double>(expected);
+    }
+  };
+  // Returns counters since the previous take() and resets the interval.
+  IntervalReport take();
+
+  std::int64_t total_received() const { return total_received_; }
+
+ private:
+  bool have_any_ = false;
+  std::uint32_t highest_seq_ = 0;
+  std::uint32_t interval_start_seq_ = 0;  // highest seq at last take()
+  std::int64_t interval_received_ = 0;
+  std::int64_t total_received_ = 0;
+};
+
+}  // namespace rv::media

@@ -1,0 +1,42 @@
+// Wire-level application payloads shared by the streaming server and client:
+// RTSP text messages (over the control TCP connection), receiver feedback
+// reports and NAK repair requests (over the data path).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/units.h"
+
+namespace rv::media {
+
+// One serialized RTSP message carried as a TCP chunk.
+struct RtspTextMeta : net::PayloadMeta {
+  explicit RtspTextMeta(std::string text) : text(std::move(text)) {}
+  std::string text;
+};
+
+// Receiver report for the server's application-layer rate controller
+// (RealSystem sends these on the RDT back-channel; §II.C).
+struct FeedbackMeta : net::PayloadMeta {
+  double loss_fraction = 0.0;
+  BitsPerSec receive_rate = 0.0;   // goodput over the report interval
+  SimTime echo_sent_at = 0;        // server timestamp being echoed
+  SimTime echo_hold = 0;           // time the client held the echo
+  std::int64_t total_received = 0;
+};
+
+inline constexpr std::int32_t kFeedbackPayloadBytes = 32;
+
+// NAK: the client asks for specific media packets to be re-sent ("special
+// packets that correct errors", §II.C).
+struct RepairRequestMeta : net::PayloadMeta {
+  std::vector<std::uint32_t> seqs;
+};
+
+inline constexpr std::int32_t kRepairRequestBytesPerSeq = 4;
+inline constexpr std::int32_t kRepairRequestBaseBytes = 8;
+
+}  // namespace rv::media

@@ -1,0 +1,74 @@
+#include "net/cross_traffic.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace rv::net {
+
+CrossTrafficSource::CrossTrafficSource(Network& network, NodeId src,
+                                       NodeId dst,
+                                       const CrossTrafficConfig& config,
+                                       util::Rng rng)
+    : network_(network),
+      src_(src),
+      dst_(dst),
+      config_(config),
+      rng_(std::move(rng)) {
+  RV_CHECK_GT(config.packet_bytes, 0);
+}
+
+void CrossTrafficSource::start() {
+  if (config_.burst_rate <= 0.0) return;  // silent source
+  auto& sim = network_.simulator();
+  // Start at a random point in the idle period so sources don't synchronise.
+  const auto first_delay = static_cast<SimTime>(
+      rng_.exponential(to_seconds(config_.mean_off) * 1e6));
+  sim.schedule_in(first_delay, [this] { begin_burst(); });
+}
+
+void CrossTrafficSource::begin_burst() {
+  auto& sim = network_.simulator();
+  SimTime on_usec = 0;
+  const double mean_usec = to_seconds(config_.mean_on) * 1e6;
+  if (config_.pareto_on_shape > 1.0) {
+    // Pareto with shape a and mean m has scale x_m = m (a-1)/a;
+    // sample x_m * U^(-1/a).
+    const double a = config_.pareto_on_shape;
+    const double scale = mean_usec * (a - 1.0) / a;
+    const double u = 1.0 - rng_.uniform();  // (0, 1]
+    on_usec = static_cast<SimTime>(scale * std::pow(u, -1.0 / a));
+  } else {
+    on_usec = static_cast<SimTime>(rng_.exponential(mean_usec));
+  }
+  burst_end_ = sim.now() + on_usec;
+  emit_packet();
+}
+
+void CrossTrafficSource::emit_packet() {
+  auto& sim = network_.simulator();
+  if (sim.now() >= burst_end_) {
+    const auto off_usec = static_cast<SimTime>(
+        rng_.exponential(to_seconds(config_.mean_off) * 1e6));
+    sim.schedule_in(off_usec, [this] { begin_burst(); });
+    return;
+  }
+  Packet p;
+  p.src = src_;
+  p.dst = dst_;
+  p.proto = Protocol::kUdp;
+  p.size_bytes = config_.packet_bytes;
+  network_.send(std::move(p));
+  ++packets_emitted_;
+
+  // Next packet after the serialisation interval at burst_rate, jittered a
+  // little so packet trains don't phase-lock with the foreground flow.
+  const SimTime gap =
+      transmission_time(config_.packet_bytes, config_.burst_rate);
+  const auto jitter = static_cast<SimTime>(
+      rng_.uniform(0.0, 0.2 * static_cast<double>(gap)));
+  sim.schedule_in(gap + jitter, [this] { emit_packet(); });
+}
+
+}  // namespace rv::net

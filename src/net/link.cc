@@ -1,0 +1,83 @@
+#include "net/link.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace rv::net {
+
+LinkDirection::LinkDirection(sim::Simulator& sim, BitsPerSec rate,
+                             SimTime prop_delay, const QueueConfig& queue)
+    : sim_(sim),
+      rate_(rate),
+      prop_delay_(prop_delay),
+      queue_capacity_bytes_(queue.capacity_bytes) {
+  RV_CHECK_GT(rate, 0.0);
+  RV_CHECK_GE(prop_delay, 0);
+  RV_CHECK_GT(queue.capacity_bytes, 0);
+  if (queue.policy == QueuePolicy::kRed) {
+    red_ = std::make_unique<RedState>(queue, queue.capacity_bytes);
+  }
+}
+
+void LinkDirection::send(Packet packet) {
+  RV_CHECK_GT(packet.size_bytes, 0);
+  if (busy_) {
+    // RED drops probabilistically before the queue is full; drop-tail (and
+    // RED's hard limit) drop on overflow.
+    if (red_ != nullptr &&
+        red_->should_drop(queued_bytes_, packet.size_bytes)) {
+      ++stats_.packets_dropped;
+      return;
+    }
+    if (queued_bytes_ + packet.size_bytes > queue_capacity_bytes_) {
+      ++stats_.packets_dropped;
+      return;
+    }
+    queued_bytes_ += packet.size_bytes;
+    queue_.push_back(std::move(packet));
+    return;
+  }
+  start_transmission(std::move(packet));
+}
+
+void LinkDirection::start_transmission(Packet packet) {
+  busy_ = true;
+  const SimTime tx = transmission_time(packet.size_bytes, rate_);
+  stats_.busy_time += tx;
+  ++stats_.packets_sent;
+  stats_.bytes_sent += static_cast<std::uint64_t>(packet.size_bytes);
+  // Delivery happens tx + propagation later; the transmitter frees after tx.
+  sim_.schedule_in(tx + prop_delay_,
+                   [this, p = std::move(packet)]() mutable {
+                     if (deliver_) deliver_(std::move(p));
+                   });
+  sim_.schedule_in(tx, [this] { transmission_done(); });
+}
+
+void LinkDirection::transmission_done() {
+  busy_ = false;
+  if (queue_.empty()) return;
+  Packet next = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= next.size_bytes;
+  RV_CHECK_GE(queued_bytes_, 0);
+  start_transmission(std::move(next));
+}
+
+LinkDirection& Link::direction_from(NodeId from) {
+  RV_CHECK(from == a_ || from == b_);
+  return from == a_ ? a_to_b_ : b_to_a_;
+}
+
+const LinkDirection& Link::direction_from(NodeId from) const {
+  RV_CHECK(from == a_ || from == b_);
+  return from == a_ ? a_to_b_ : b_to_a_;
+}
+
+NodeId Link::peer_of(NodeId n) const {
+  RV_CHECK(n == a_ || n == b_);
+  return n == a_ ? b_ : a_;
+}
+
+}  // namespace rv::net

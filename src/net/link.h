@@ -1,0 +1,91 @@
+// Full-duplex point-to-point links with drop-tail queues.
+//
+// Each direction serialises packets at the link rate, holds at most
+// `queue_capacity_bytes` of backlog, and delivers after the propagation
+// delay. Overflowing packets are dropped (the only loss source in the
+// simulator, as in a real router).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/packet.h"
+#include "net/queue_policy.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace rv::net {
+
+struct LinkStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+  SimTime busy_time = 0;  // total serialisation time
+};
+
+// One direction of a link. Owned by Link.
+class LinkDirection {
+ public:
+  LinkDirection(sim::Simulator& sim, BitsPerSec rate, SimTime prop_delay,
+                const QueueConfig& queue);
+
+  // Accepts a packet for transmission; drops it if the queue is full.
+  void send(Packet packet);
+
+  // Called with each packet after serialisation + propagation.
+  void set_deliver(std::function<void(Packet)> deliver) {
+    deliver_ = std::move(deliver);
+  }
+
+  BitsPerSec rate() const { return rate_; }
+  SimTime prop_delay() const { return prop_delay_; }
+  std::int64_t queued_bytes() const { return queued_bytes_; }
+  std::int64_t queue_capacity_bytes() const { return queue_capacity_bytes_; }
+  const LinkStats& stats() const { return stats_; }
+
+ private:
+  void start_transmission(Packet packet);
+  void transmission_done();
+
+  sim::Simulator& sim_;
+  BitsPerSec rate_;
+  SimTime prop_delay_;
+  std::int64_t queue_capacity_bytes_;
+  std::unique_ptr<RedState> red_;  // null for drop-tail
+  std::deque<Packet> queue_;
+  std::int64_t queued_bytes_ = 0;
+  bool busy_ = false;
+  std::function<void(Packet)> deliver_;
+  LinkStats stats_;
+};
+
+// A full-duplex link between two nodes (identified by the Network).
+class Link {
+ public:
+  Link(sim::Simulator& sim, NodeId a, NodeId b, BitsPerSec rate,
+       SimTime prop_delay, const QueueConfig& queue)
+      : a_(a),
+        b_(b),
+        a_to_b_(sim, rate, prop_delay, queue),
+        b_to_a_(sim, rate, prop_delay, queue) {}
+
+  NodeId a() const { return a_; }
+  NodeId b() const { return b_; }
+
+  // The direction that transmits *out of* `from`.
+  LinkDirection& direction_from(NodeId from);
+  const LinkDirection& direction_from(NodeId from) const;
+  // The node at the other end.
+  NodeId peer_of(NodeId n) const;
+
+ private:
+  NodeId a_;
+  NodeId b_;
+  LinkDirection a_to_b_;
+  LinkDirection b_to_a_;
+};
+
+}  // namespace rv::net

@@ -1,0 +1,37 @@
+#include "net/node.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace rv::net {
+
+void Node::set_route(NodeId dst, LinkDirection* out) {
+  RV_CHECK(out != nullptr);
+  routes_[dst] = out;
+}
+
+LinkDirection* Node::route_to(NodeId dst) const {
+  const auto it = routes_.find(dst);
+  return it == routes_.end() ? nullptr : it->second;
+}
+
+void Node::handle(Packet packet) {
+  if (packet.dst == id_) {
+    if (local_sink_) {
+      local_sink_(std::move(packet));
+    } else {
+      // Cross-traffic sinks and closed ports land here by design.
+      ++sink_drops_;
+    }
+    return;
+  }
+  LinkDirection* out = route_to(packet.dst);
+  if (out == nullptr) {
+    ++no_route_drops_;
+    return;
+  }
+  out->send(std::move(packet));
+}
+
+}  // namespace rv::net

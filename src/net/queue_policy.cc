@@ -1,0 +1,57 @@
+#include "net/queue_policy.h"
+
+#include "util/check.h"
+
+namespace rv::net {
+
+RedState::RedState(const QueueConfig& config, std::int64_t capacity_bytes)
+    : min_bytes_(config.red_min_threshold *
+                 static_cast<double>(capacity_bytes)),
+      max_bytes_(config.red_max_threshold *
+                 static_cast<double>(capacity_bytes)),
+      max_p_(config.red_max_drop_probability),
+      weight_(config.red_weight),
+      rng_state_(config.red_seed) {
+  RV_CHECK_GT(capacity_bytes, 0);
+  RV_CHECK_LT(min_bytes_, max_bytes_);
+  RV_CHECK_GT(max_p_, 0.0);
+}
+
+double RedState::next_uniform() {
+  // SplitMix64 — cheap, state-local, deterministic.
+  rng_state_ += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z = z ^ (z >> 31);
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+bool RedState::should_drop(std::int64_t queued_bytes,
+                           std::int32_t /*packet_bytes*/) {
+  // EWMA of the queue size (classic RED, sampled at arrivals).
+  avg_ = (1.0 - weight_) * avg_ +
+         weight_ * static_cast<double>(queued_bytes);
+  if (avg_ < min_bytes_) {
+    count_since_drop_ = -1;
+    return false;
+  }
+  if (avg_ >= max_bytes_) {
+    count_since_drop_ = 0;
+    return true;
+  }
+  // Between thresholds: drop with probability growing linearly, spread out
+  // by the inter-drop count (Floyd & Jacobson's p_a correction).
+  ++count_since_drop_;
+  const double p_b =
+      max_p_ * (avg_ - min_bytes_) / (max_bytes_ - min_bytes_);
+  const double denom = 1.0 - static_cast<double>(count_since_drop_) * p_b;
+  const double p_a = denom <= 0.0 ? 1.0 : p_b / denom;
+  if (next_uniform() < p_a) {
+    count_since_drop_ = 0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace rv::net

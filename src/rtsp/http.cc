@@ -1,0 +1,97 @@
+#include "rtsp/http.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace rv::rtsp {
+namespace {
+
+constexpr std::string_view kHttpVersion = "HTTP/1.0";
+
+// Shares the header-block layout with the RTSP codec.
+bool split_http(std::string_view text, std::string& start_line,
+                HeaderMap& headers, std::string& body) {
+  std::size_t pos = text.find('\n');
+  if (pos == std::string_view::npos) return false;
+  start_line = util::trim(text.substr(0, pos));
+  std::size_t line_start = pos + 1;
+  while (line_start < text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    const std::string line =
+        util::trim(text.substr(line_start, line_end - line_start));
+    line_start = line_end + 1;
+    if (line.empty()) break;
+    const auto [name, value] = util::split_first(line, ':');
+    if (name.empty()) return false;
+    headers.set(util::trim(name), util::trim(value));
+  }
+  if (line_start < text.size()) body = std::string(text.substr(line_start));
+  return !start_line.empty();
+}
+
+}  // namespace
+
+std::string HttpRequest::serialize() const {
+  std::ostringstream os;
+  os << "GET " << path << ' ' << kHttpVersion << "\r\n";
+  for (const auto& [name, value] : headers) {
+    os << name << ": " << value << "\r\n";
+  }
+  os << "\r\n";
+  return os.str();
+}
+
+std::string HttpResponse::serialize() const {
+  std::ostringstream os;
+  os << kHttpVersion << ' ' << status << ' '
+     << (status == 200 ? "OK" : "Not Found") << "\r\n";
+  for (const auto& [name, value] : headers) {
+    os << name << ": " << value << "\r\n";
+  }
+  os << "\r\n" << body;
+  return os.str();
+}
+
+std::optional<HttpRequest> parse_http_request(std::string_view text) {
+  std::string start_line;
+  HttpRequest req;
+  std::string body;
+  if (!split_http(text, start_line, req.headers, body)) return std::nullopt;
+  const auto parts = util::split(start_line, ' ');
+  if (parts.size() != 3 || parts[0] != "GET" || parts[2] != kHttpVersion) {
+    return std::nullopt;
+  }
+  req.path = parts[1];
+  return req;
+}
+
+std::optional<HttpResponse> parse_http_response(std::string_view text) {
+  std::string start_line;
+  HttpResponse resp;
+  if (!split_http(text, start_line, resp.headers, resp.body)) {
+    return std::nullopt;
+  }
+  const auto parts = util::split(start_line, ' ');
+  if (parts.size() < 2 || parts[0] != kHttpVersion) return std::nullopt;
+  resp.status = std::atoi(parts[1].c_str());
+  if (resp.status == 0) return std::nullopt;
+  return resp;
+}
+
+std::string make_ram_metafile(const std::string& rtsp_url) {
+  // Real .ram files are a list of URLs, one per line, possibly with
+  // comments.
+  return "# RAM metafile\n" + rtsp_url + "\n";
+}
+
+std::string parse_ram_metafile(std::string_view body) {
+  for (const auto& line : util::split(body, '\n')) {
+    const std::string trimmed = util::trim(line);
+    if (trimmed.rfind("rtsp://", 0) == 0) return trimmed;
+  }
+  return "";
+}
+
+}  // namespace rv::rtsp

@@ -1,0 +1,39 @@
+// Minimal HTTP/1.0 codec for the metafile step (§II.A of the paper):
+// clicking a web link downloads a .ram metafile over HTTP; the metafile
+// holds the rtsp:// URL the player then opens. Only GET and the handful of
+// headers that flow are modelled.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "rtsp/message.h"
+
+namespace rv::rtsp {
+
+struct HttpRequest {
+  std::string path;  // e.g. "/clip/203.ram"
+  HeaderMap headers;
+
+  std::string serialize() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  HeaderMap headers;
+  std::string body;
+
+  bool ok() const { return status == 200; }
+  std::string serialize() const;
+};
+
+std::optional<HttpRequest> parse_http_request(std::string_view text);
+std::optional<HttpResponse> parse_http_response(std::string_view text);
+
+// The .ram metafile body for a clip URL.
+std::string make_ram_metafile(const std::string& rtsp_url);
+// Extracts the first rtsp:// URL from a .ram body ("" if none).
+std::string parse_ram_metafile(std::string_view body);
+
+}  // namespace rv::rtsp

@@ -1,0 +1,207 @@
+#include "rtsp/message.h"
+
+#include <array>
+#include <charconv>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace rv::rtsp {
+namespace {
+
+constexpr std::string_view kVersion = "RTSP/1.0";
+
+struct MethodName {
+  Method method;
+  std::string_view name;
+};
+
+constexpr std::array<MethodName, 7> kMethods = {{
+    {Method::kOptions, "OPTIONS"},
+    {Method::kDescribe, "DESCRIBE"},
+    {Method::kSetup, "SETUP"},
+    {Method::kPlay, "PLAY"},
+    {Method::kPause, "PAUSE"},
+    {Method::kTeardown, "TEARDOWN"},
+    {Method::kSetParameter, "SET_PARAMETER"},
+}};
+
+std::optional<int> parse_int(std::string_view s) {
+  int value = 0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+// Splits raw text into (start line, headers, body); returns false when the
+// message has no start line.
+bool split_message(std::string_view text, std::string& start_line,
+                   HeaderMap& headers, std::string& body) {
+  std::size_t pos = text.find('\n');
+  if (pos == std::string_view::npos) return false;
+  start_line = util::trim(text.substr(0, pos));
+  std::size_t line_start = pos + 1;
+  while (line_start < text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    const std::string line =
+        util::trim(text.substr(line_start, line_end - line_start));
+    line_start = line_end + 1;
+    if (line.empty()) break;  // blank line: headers done
+    const auto [name, value] = util::split_first(line, ':');
+    if (name.empty()) return false;
+    headers.set(util::trim(name), util::trim(value));
+  }
+  if (line_start < text.size()) body = std::string(text.substr(line_start));
+  return !start_line.empty();
+}
+
+int cseq_of(const HeaderMap& headers) {
+  const auto v = headers.get("CSeq");
+  if (!v) return 0;
+  return parse_int(*v).value_or(0);
+}
+
+}  // namespace
+
+std::string_view method_name(Method m) {
+  for (const auto& entry : kMethods) {
+    if (entry.method == m) return entry.name;
+  }
+  return "OPTIONS";
+}
+
+std::optional<Method> parse_method(std::string_view name) {
+  for (const auto& entry : kMethods) {
+    if (entry.name == name) return entry.method;
+  }
+  return std::nullopt;
+}
+
+std::string_view status_reason(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kBadRequest:
+      return "Bad Request";
+    case StatusCode::kNotFound:
+      return "Not Found";
+    case StatusCode::kSessionNotFound:
+      return "Session Not Found";
+    case StatusCode::kUnsupportedTransport:
+      return "Unsupported Transport";
+    case StatusCode::kInternalError:
+      return "Internal Server Error";
+    case StatusCode::kServiceUnavailable:
+      return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+void HeaderMap::set(std::string_view name, std::string value) {
+  headers_[util::to_lower(name)] = std::move(value);
+}
+
+std::optional<std::string> HeaderMap::get(std::string_view name) const {
+  const auto it = headers_.find(util::to_lower(name));
+  if (it == headers_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Request::serialize() const {
+  std::ostringstream os;
+  os << method_name(method) << ' ' << url << ' ' << kVersion << "\r\n";
+  os << "CSeq: " << cseq << "\r\n";
+  for (const auto& [name, value] : headers) {
+    os << name << ": " << value << "\r\n";
+  }
+  os << "\r\n" << body;
+  return os.str();
+}
+
+std::string Response::serialize() const {
+  std::ostringstream os;
+  os << kVersion << ' ' << static_cast<int>(status) << ' '
+     << status_reason(status) << "\r\n";
+  os << "CSeq: " << cseq << "\r\n";
+  for (const auto& [name, value] : headers) {
+    os << name << ": " << value << "\r\n";
+  }
+  os << "\r\n" << body;
+  return os.str();
+}
+
+std::optional<Request> parse_request(std::string_view text) {
+  std::string start_line;
+  Request req;
+  if (!split_message(text, start_line, req.headers, req.body)) {
+    return std::nullopt;
+  }
+  const auto parts = util::split(start_line, ' ');
+  if (parts.size() != 3 || parts[2] != kVersion) return std::nullopt;
+  const auto method = parse_method(parts[0]);
+  if (!method) return std::nullopt;
+  req.method = *method;
+  req.url = parts[1];
+  req.cseq = cseq_of(req.headers);
+  return req;
+}
+
+std::optional<Response> parse_response(std::string_view text) {
+  std::string start_line;
+  Response resp;
+  if (!split_message(text, start_line, resp.headers, resp.body)) {
+    return std::nullopt;
+  }
+  // "RTSP/1.0 200 OK" — reason may contain spaces.
+  const auto first_space = start_line.find(' ');
+  if (first_space == std::string::npos) return std::nullopt;
+  if (std::string_view(start_line).substr(0, first_space) != kVersion) {
+    return std::nullopt;
+  }
+  const auto second_space = start_line.find(' ', first_space + 1);
+  const std::string code_str =
+      second_space == std::string::npos
+          ? start_line.substr(first_space + 1)
+          : start_line.substr(first_space + 1, second_space - first_space - 1);
+  const auto code = parse_int(code_str);
+  if (!code) return std::nullopt;
+  resp.status = static_cast<StatusCode>(*code);
+  resp.cseq = cseq_of(resp.headers);
+  return resp;
+}
+
+std::string TransportSpec::serialize() const {
+  std::ostringstream os;
+  os << "x-real-rdt/" << (use_udp ? "udp" : "tcp");
+  if (use_udp) os << ";client_port=" << client_port;
+  return os.str();
+}
+
+std::optional<TransportSpec> parse_transport(std::string_view value) {
+  const auto fields = util::split(value, ';');
+  if (fields.empty()) return std::nullopt;
+  TransportSpec spec;
+  const std::string proto = util::to_lower(util::trim(fields[0]));
+  if (proto == "x-real-rdt/udp") {
+    spec.use_udp = true;
+  } else if (proto == "x-real-rdt/tcp") {
+    spec.use_udp = false;
+  } else {
+    return std::nullopt;
+  }
+  for (std::size_t i = 1; i < fields.size(); ++i) {
+    const auto [key, val] = util::split_first(util::trim(fields[i]), '=');
+    if (util::iequals(key, "client_port")) {
+      const auto port = parse_int(util::trim(val));
+      if (!port) return std::nullopt;
+      spec.client_port = *port;
+    }
+  }
+  if (spec.use_udp && spec.client_port == 0) return std::nullopt;
+  return spec;
+}
+
+}  // namespace rv::rtsp

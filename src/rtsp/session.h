@@ -1,0 +1,40 @@
+// Server-side RTSP session state machine.
+//
+// Tracks the RFC 2326 session lifecycle (Init → Ready → Playing) and
+// validates the method ordering RealServer enforces. The streaming engine
+// (src/server) owns one Session per client.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rtsp/message.h"
+
+namespace rv::rtsp {
+
+enum class SessionState { kInit, kReady, kPlaying, kTornDown };
+
+std::string_view session_state_name(SessionState s);
+
+class Session {
+ public:
+  explicit Session(std::uint64_t id) : id_(id) {}
+
+  std::uint64_t id() const { return id_; }
+  std::string id_string() const;
+  SessionState state() const { return state_; }
+
+  // Returns true (and transitions) when `method` is legal in the current
+  // state; illegal methods leave the state unchanged.
+  bool apply(Method method);
+
+  const TransportSpec& transport() const { return transport_; }
+  void set_transport(const TransportSpec& t) { transport_ = t; }
+
+ private:
+  std::uint64_t id_;
+  SessionState state_ = SessionState::kInit;
+  TransportSpec transport_;
+};
+
+}  // namespace rv::rtsp

@@ -1,0 +1,61 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace rv::sim {
+
+EventId Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+  RV_CHECK_GE(at, now_) << "cannot schedule into the past";
+  RV_CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Event{at, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::schedule_in(SimTime delay, std::function<void()> fn) {
+  RV_CHECK_GE(delay, 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) {
+  if (id == kInvalidEventId) return;
+  cancelled_.insert(id);
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (const auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.at;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::run_until(SimTime deadline) {
+  RV_CHECK_GE(deadline, now_);
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    if (!step()) break;
+  }
+  now_ = deadline;
+}
+
+std::size_t Simulator::pending_events() const {
+  // Cancelled-but-unpopped events still sit in the heap; report live ones.
+  return queue_.size() >= cancelled_.size() ? queue_.size() - cancelled_.size()
+                                            : 0;
+}
+
+}  // namespace rv::sim

@@ -1,0 +1,69 @@
+// Discrete-event simulation kernel.
+//
+// A Simulator owns a priority queue of timestamped callbacks. Events at equal
+// timestamps fire in scheduling order (a monotonically increasing sequence
+// number breaks ties), which makes runs deterministic. Events can be
+// cancelled through the EventId returned at scheduling time; cancellation is
+// lazy (the heap entry is skipped when popped).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.h"
+
+namespace rv::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (>= now).
+  EventId schedule_at(SimTime at, std::function<void()> fn);
+  // Schedules `fn` to run `delay` from now.
+  EventId schedule_in(SimTime delay, std::function<void()> fn);
+
+  // Cancels a pending event; cancelling an already-fired or invalid id is a
+  // harmless no-op (timers race with the events that disarm them).
+  void cancel(EventId id);
+
+  // Runs until the queue empties.
+  void run();
+  // Runs events with time <= deadline; the clock ends at the deadline even if
+  // the queue drained earlier.
+  void run_until(SimTime deadline);
+  // Runs at most one event; returns false when the queue is empty.
+  bool step();
+
+  std::size_t pending_events() const;
+
+ private:
+  struct Event {
+    SimTime at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace rv::sim

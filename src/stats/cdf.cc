@@ -1,0 +1,57 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+
+#include "stats/summary.h"
+#include "util/check.h"
+
+namespace rv::stats {
+
+Cdf::Cdf(std::span<const double> xs) : sorted_(xs.begin(), xs.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+  if (!sorted_.empty()) mean_ = mean_of(sorted_);
+}
+
+double Cdf::at(double x) const {
+  RV_CHECK(!empty());
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Cdf::inverse(double q) const {
+  RV_CHECK(!empty());
+  RV_CHECK_GT(q, 0.0);
+  RV_CHECK_LE(q, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::max(0.0, q * static_cast<double>(sorted_.size()) - 1.0));
+  return sorted_[std::min(rank, sorted_.size() - 1)];
+}
+
+double Cdf::min() const {
+  RV_CHECK(!empty());
+  return sorted_.front();
+}
+
+double Cdf::max() const {
+  RV_CHECK(!empty());
+  return sorted_.back();
+}
+
+std::vector<Cdf::Point> Cdf::sample(std::size_t n_points) const {
+  RV_CHECK(!empty());
+  RV_CHECK_GE(n_points, 2u);
+  std::vector<Point> pts;
+  pts.reserve(n_points);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (std::size_t i = 0; i < n_points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) /
+                 static_cast<double>(n_points - 1);
+    pts.push_back({x, at(x)});
+  }
+  return pts;
+}
+
+}  // namespace rv::stats

@@ -1,0 +1,51 @@
+// Empirical cumulative distribution functions — the paper's workhorse plot.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rv::stats {
+
+// Empirical CDF over a dataset. Immutable once built.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::span<const double> xs);
+
+  bool empty() const { return sorted_.empty(); }
+  std::size_t size() const { return sorted_.size(); }
+
+  // P(X <= x).
+  double at(double x) const;
+  // Smallest value v with P(X <= v) >= q, q in (0, 1].
+  double inverse(double q) const;
+  double median() const { return inverse(0.5); }
+  double mean() const { return mean_; }
+  double min() const;
+  double max() const;
+
+  // Evenly spaced sample points (x, F(x)) for plotting/export.
+  struct Point {
+    double x;
+    double f;
+  };
+  std::vector<Point> sample(std::size_t n_points) const;
+
+  // The underlying sorted values.
+  std::span<const double> values() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+  double mean_ = 0.0;
+};
+
+// A named collection of CDFs plotted on shared axes (e.g., frame rate split by
+// connection class).
+struct LabeledCdf {
+  std::string label;
+  Cdf cdf;
+};
+
+}  // namespace rv::stats

@@ -1,0 +1,49 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+
+#include "stats/summary.h"
+#include "util/check.h"
+
+namespace rv::stats {
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  RV_CHECK_EQ(xs.size(), ys.size());
+  RV_CHECK_GT(xs.size(), 1u);
+  const double mx = mean_of(xs);
+  const double my = mean_of(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  RV_CHECK_GT(sxx, 0.0);
+  RV_CHECK_GT(syy, 0.0);
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  RV_CHECK_EQ(xs.size(), ys.size());
+  RV_CHECK_GT(xs.size(), 1u);
+  const double mx = mean_of(xs);
+  const double my = mean_of(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+  }
+  RV_CHECK_GT(sxx, 0.0);
+  LinearFit fit{};
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r = pearson(xs, ys);
+  return fit;
+}
+
+}  // namespace rv::stats

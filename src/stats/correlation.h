@@ -1,0 +1,20 @@
+// Correlation and simple linear regression (Fig 28's trend analysis).
+#pragma once
+
+#include <span>
+
+namespace rv::stats {
+
+// Pearson correlation coefficient; requires equal-sized, non-degenerate data.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+struct LinearFit {
+  double slope;
+  double intercept;
+  double r;  // Pearson correlation of the fit
+};
+
+// Ordinary least squares y = slope*x + intercept.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace rv::stats

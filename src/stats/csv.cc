@@ -1,0 +1,36 @@
+#include "stats/csv.h"
+
+#include <stdexcept>
+
+namespace rv::stats {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("cannot open CSV file: " + path);
+}
+
+void CsvWriter::write_row(std::span<const std::string> cells) {
+  bool first = true;
+  for (const auto& cell : cells) {
+    if (!first) out_ << ',';
+    out_ << csv_escape(cell);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string> cells) {
+  write_row(std::span<const std::string>(cells.begin(), cells.size()));
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace rv::stats

@@ -1,0 +1,27 @@
+// Minimal CSV writer for exporting figure data (one file per figure, so the
+// series can be re-plotted with external tooling).
+#pragma once
+
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rv::stats {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) `path`; throws on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(std::span<const std::string> cells);
+  void write_row(std::initializer_list<std::string> cells);
+
+ private:
+  std::ofstream out_;
+};
+
+// Escapes a cell per RFC 4180 (quotes fields containing comma/quote/newline).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace rv::stats

@@ -1,0 +1,65 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rv::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  RV_CHECK_LT(lo, hi);
+  RV_CHECK_GT(bins, 0u);
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const {
+  RV_CHECK_LT(bin, counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+void CountTable::add(const std::string& label, std::size_t n) {
+  counts_[label] += n;
+}
+
+std::size_t CountTable::count(const std::string& label) const {
+  const auto it = counts_.find(label);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::size_t CountTable::total() const {
+  std::size_t t = 0;
+  for (const auto& [_, n] : counts_) t += n;
+  return t;
+}
+
+std::vector<std::pair<std::string, std::size_t>> CountTable::sorted_by_count()
+    const {
+  std::vector<std::pair<std::string, std::size_t>> out(counts_.begin(),
+                                                       counts_.end());
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second < b.second;
+  });
+  return out;
+}
+
+std::vector<std::pair<std::string, std::size_t>> CountTable::entries() const {
+  return {counts_.begin(), counts_.end()};
+}
+
+}  // namespace rv::stats

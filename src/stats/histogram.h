@@ -1,0 +1,46 @@
+// Fixed-bin histograms and labelled count tables (for the paper's bar charts).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rv::stats {
+
+// Histogram over [lo, hi) with `bins` equal-width bins; values outside the
+// range land in the first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Ordered label → count map (bar charts like Figs 7–10).
+class CountTable {
+ public:
+  void add(const std::string& label, std::size_t n = 1);
+  std::size_t count(const std::string& label) const;
+  std::size_t total() const;
+  // Entries sorted by ascending count (the paper's bar charts are sorted).
+  std::vector<std::pair<std::string, std::size_t>> sorted_by_count() const;
+  std::vector<std::pair<std::string, std::size_t>> entries() const;
+  bool empty() const { return counts_.empty(); }
+
+ private:
+  std::map<std::string, std::size_t> counts_;
+};
+
+}  // namespace rv::stats

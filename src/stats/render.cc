@@ -1,0 +1,175 @@
+#include "stats/render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace rv::stats {
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+struct Range {
+  double lo;
+  double hi;
+};
+
+Range x_range(std::span<const LabeledCdf> series, const RenderOptions& opts) {
+  if (opts.x_max > opts.x_min) return {opts.x_min, opts.x_max};
+  double lo = 0.0;
+  double hi = 1.0;
+  bool first = true;
+  for (const auto& s : series) {
+    if (s.cdf.empty()) continue;
+    if (first) {
+      lo = s.cdf.min();
+      hi = s.cdf.max();
+      first = false;
+    } else {
+      lo = std::min(lo, s.cdf.min());
+      hi = std::max(hi, s.cdf.max());
+    }
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  return {lo, hi};
+}
+
+}  // namespace
+
+std::string render_cdfs(std::span<const LabeledCdf> series,
+                        const RenderOptions& opts) {
+  RV_CHECK(!series.empty());
+  const auto [xlo, xhi] = x_range(series, opts);
+  const std::size_t w = opts.width;
+  const std::size_t h = opts.height;
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const auto& s = series[si];
+    if (s.cdf.empty()) continue;
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (std::size_t col = 0; col < w; ++col) {
+      const double x =
+          xlo + (xhi - xlo) * static_cast<double>(col) /
+                    static_cast<double>(w - 1);
+      const double f = s.cdf.at(x);
+      auto row = static_cast<std::size_t>(
+          std::round(f * static_cast<double>(h - 1)));
+      row = std::min(row, h - 1);
+      grid[h - 1 - row][col] = glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!opts.title.empty()) os << opts.title << "\n";
+  for (std::size_t r = 0; r < h; ++r) {
+    const double f =
+        1.0 - static_cast<double>(r) / static_cast<double>(h - 1);
+    os << util::format_double(f, 2) << " |" << grid[r] << "\n";
+  }
+  os << "     +" << std::string(w, '-') << "\n";
+  os << "      " << util::format_double(xlo, 1)
+     << std::string(w > 24 ? w - 16 : 1, ' ') << util::format_double(xhi, 1)
+     << "\n";
+  if (!opts.x_label.empty()) {
+    const std::size_t pad = (w > opts.x_label.size())
+                                ? (w - opts.x_label.size()) / 2
+                                : 0;
+    os << "      " << std::string(pad, ' ') << opts.x_label << "\n";
+  }
+  os << "      legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "  " << kGlyphs[si % sizeof(kGlyphs)] << "=" << series[si].label;
+  }
+  os << "\n";
+  return os.str();
+}
+
+std::string render_bars(const CountTable& table, const std::string& title,
+                        std::size_t width) {
+  std::ostringstream os;
+  if (!title.empty()) os << title << "\n";
+  const auto rows = table.sorted_by_count();
+  std::size_t max_count = 1;
+  std::size_t max_label = 1;
+  for (const auto& [label, n] : rows) {
+    max_count = std::max(max_count, n);
+    max_label = std::max(max_label, label.size());
+  }
+  for (const auto& [label, n] : rows) {
+    const auto bar = static_cast<std::size_t>(
+        std::round(static_cast<double>(n) / static_cast<double>(max_count) *
+                   static_cast<double>(width)));
+    os << "  " << label << std::string(max_label - label.size() + 1, ' ')
+       << "|" << std::string(bar, '#') << " " << n << "\n";
+  }
+  return os.str();
+}
+
+std::string render_scatter(std::span<const double> xs,
+                           std::span<const double> ys,
+                           const RenderOptions& opts,
+                           const std::string& y_label) {
+  RV_CHECK_EQ(xs.size(), ys.size());
+  RV_CHECK(!xs.empty());
+  double xlo = opts.x_min;
+  double xhi = opts.x_max;
+  if (xhi <= xlo) {
+    xlo = *std::min_element(xs.begin(), xs.end());
+    xhi = *std::max_element(xs.begin(), xs.end());
+    if (xhi <= xlo) xhi = xlo + 1.0;
+  }
+  const double ylo = *std::min_element(ys.begin(), ys.end());
+  double yhi = *std::max_element(ys.begin(), ys.end());
+  if (yhi <= ylo) yhi = ylo + 1.0;
+
+  const std::size_t w = opts.width;
+  const std::size_t h = opts.height;
+  std::vector<std::string> grid(h, std::string(w, ' '));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double fx = std::clamp((xs[i] - xlo) / (xhi - xlo), 0.0, 1.0);
+    const double fy = std::clamp((ys[i] - ylo) / (yhi - ylo), 0.0, 1.0);
+    const auto col = static_cast<std::size_t>(
+        std::round(fx * static_cast<double>(w - 1)));
+    const auto row = static_cast<std::size_t>(
+        std::round(fy * static_cast<double>(h - 1)));
+    grid[h - 1 - row][col] = '*';
+  }
+
+  std::ostringstream os;
+  if (!opts.title.empty()) os << opts.title << "\n";
+  os << "  y: " << y_label << " [" << util::format_double(ylo, 1) << ", "
+     << util::format_double(yhi, 1) << "]\n";
+  for (const auto& row : grid) os << "  |" << row << "\n";
+  os << "  +" << std::string(w, '-') << "\n";
+  os << "   " << util::format_double(xlo, 1)
+     << std::string(w > 24 ? w - 16 : 1, ' ') << util::format_double(xhi, 1)
+     << "\n";
+  if (!opts.x_label.empty()) os << "   x: " << opts.x_label << "\n";
+  return os.str();
+}
+
+std::string render_comparison(const std::string& title,
+                              std::span<const ComparisonRow> rows) {
+  std::size_t w_metric = 6;
+  std::size_t w_paper = 5;
+  for (const auto& r : rows) {
+    w_metric = std::max(w_metric, r.metric.size());
+    w_paper = std::max(w_paper, r.paper.size());
+  }
+  std::ostringstream os;
+  os << title << "\n";
+  os << "  " << std::string(w_metric, '-') << "  paper"
+     << std::string(w_paper > 5 ? w_paper - 5 : 0, ' ') << "  measured\n";
+  for (const auto& r : rows) {
+    os << "  " << r.metric << std::string(w_metric - r.metric.size(), ' ')
+       << "  " << r.paper << std::string(w_paper - r.paper.size(), ' ')
+       << "  " << r.measured << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rv::stats

@@ -1,0 +1,49 @@
+// ASCII rendering of the paper's plot types: multi-series CDF line charts,
+// horizontal bar charts, and scatter plots. The bench binaries print these so
+// a figure can be eyeballed against the paper without a plotting stack.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/cdf.h"
+#include "stats/histogram.h"
+
+namespace rv::stats {
+
+struct RenderOptions {
+  std::size_t width = 72;   // plot columns
+  std::size_t height = 20;  // plot rows
+  double x_min = 0.0;
+  double x_max = 0.0;  // <= x_min means auto
+  std::string x_label;
+  std::string title;
+};
+
+// Multi-series CDF plot; each series is drawn with its own glyph and a legend
+// line is appended.
+std::string render_cdfs(std::span<const LabeledCdf> series,
+                        const RenderOptions& opts);
+
+// Horizontal bar chart of label → count, ascending by count.
+std::string render_bars(const CountTable& table, const std::string& title,
+                        std::size_t width = 50);
+
+// Scatter plot of (x, y) points.
+std::string render_scatter(std::span<const double> xs,
+                           std::span<const double> ys,
+                           const RenderOptions& opts,
+                           const std::string& y_label);
+
+// A two-column "paper vs measured" comparison block.
+struct ComparisonRow {
+  std::string metric;
+  std::string paper;
+  std::string measured;
+};
+std::string render_comparison(const std::string& title,
+                              std::span<const ComparisonRow> rows);
+
+}  // namespace rv::stats

@@ -1,0 +1,166 @@
+#include "study/analysis.h"
+
+#include <algorithm>
+
+#include "world/types.h"
+
+namespace rv::study {
+
+std::vector<double> frame_rates(const Records& records) {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto* r : records) out.push_back(r->stats.measured_fps);
+  return out;
+}
+
+std::vector<double> jitters_ms(const Records& records) {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto* r : records) out.push_back(r->stats.jitter_ms);
+  return out;
+}
+
+std::vector<double> bandwidths_kbps(const Records& records) {
+  std::vector<double> out;
+  out.reserve(records.size());
+  for (const auto* r : records) {
+    out.push_back(to_kbps(r->stats.measured_bandwidth));
+  }
+  return out;
+}
+
+std::vector<double> ratings(const Records& records) {
+  std::vector<double> out;
+  for (const auto* r : records) {
+    if (r->rated()) out.push_back(r->rating);
+  }
+  return out;
+}
+
+Records filter(const Records& records,
+               const std::function<bool(const tracer::TraceRecord&)>& pred) {
+  Records out;
+  for (const auto* r : records) {
+    if (pred(*r)) out.push_back(r);
+  }
+  return out;
+}
+
+namespace {
+
+template <typename KeyFn>
+std::map<std::string, Records> group_by(const Records& records, KeyFn key) {
+  std::map<std::string, Records> out;
+  for (const auto* r : records) out[std::string(key(*r))].push_back(r);
+  return out;
+}
+
+}  // namespace
+
+std::map<std::string, Records> by_connection(const Records& records) {
+  return group_by(records, [](const tracer::TraceRecord& r) {
+    return world::connection_class_name(r.connection);
+  });
+}
+
+std::map<std::string, Records> by_protocol(const Records& records) {
+  return group_by(records, [](const tracer::TraceRecord& r) {
+    return net::protocol_name(r.stats.protocol);
+  });
+}
+
+std::map<std::string, Records> by_server_group(const Records& records) {
+  return group_by(records, [](const tracer::TraceRecord& r) {
+    return world::server_region_group_name(r.server_group);
+  });
+}
+
+std::map<std::string, Records> by_user_group(const Records& records) {
+  return group_by(records, [](const tracer::TraceRecord& r) {
+    return world::user_region_group_name(r.user_group);
+  });
+}
+
+std::map<std::string, Records> by_pc_class(const Records& records) {
+  return group_by(records,
+                  [](const tracer::TraceRecord& r) { return r.pc_class; });
+}
+
+std::map<std::string, Records> by_bandwidth_bucket(const Records& records) {
+  return group_by(records, [](const tracer::TraceRecord& r) {
+    const double k = to_kbps(r.stats.measured_bandwidth);
+    if (k < 10.0) return "< 10K";
+    if (k <= 100.0) return "10K - 100K";
+    return "> 100K";
+  });
+}
+
+stats::CountTable clips_played_by_country(const Records& played) {
+  stats::CountTable t;
+  for (const auto* r : played) t.add(r->country);
+  return t;
+}
+
+stats::CountTable clips_served_by_country(const Records& played) {
+  stats::CountTable t;
+  for (const auto* r : played) t.add(r->server_country);
+  return t;
+}
+
+stats::CountTable clips_played_by_us_state(const Records& played) {
+  stats::CountTable t;
+  for (const auto* r : played) {
+    if (!r->us_state.empty()) t.add(r->us_state);
+  }
+  return t;
+}
+
+std::map<std::string, double> unavailability_by_server(
+    const Records& accesses) {
+  std::map<std::string, std::pair<std::size_t, std::size_t>> counts;
+  for (const auto* r : accesses) {
+    auto& [total, unavailable] = counts[r->server_name];
+    ++total;
+    if (!r->available) ++unavailable;
+  }
+  std::map<std::string, double> out;
+  for (const auto& [name, c] : counts) {
+    out[name] = c.first == 0
+                    ? 0.0
+                    : static_cast<double>(c.second) /
+                          static_cast<double>(c.first);
+  }
+  return out;
+}
+
+std::vector<double> plays_per_user(const Records& accesses) {
+  std::map<int, double> per_user;
+  for (const auto* r : accesses) per_user[r->user_id] += 1.0;
+  std::vector<double> out;
+  for (const auto& [_, n] : per_user) out.push_back(n);
+  return out;
+}
+
+std::vector<double> ratings_per_user(const Records& accesses) {
+  std::map<int, double> per_user;
+  for (const auto* r : accesses) {
+    per_user[r->user_id] += r->rated() ? 1.0 : 0.0;
+  }
+  std::vector<double> out;
+  for (const auto& [_, n] : per_user) out.push_back(n);
+  return out;
+}
+
+std::vector<stats::LabeledCdf> group_cdfs(
+    const std::map<std::string, Records>& groups,
+    const std::function<std::vector<double>(const Records&)>& metric) {
+  std::vector<stats::LabeledCdf> out;
+  for (const auto& [label, records] : groups) {
+    const auto values = metric(records);
+    if (values.empty()) continue;
+    out.push_back({label, stats::Cdf(values)});
+  }
+  return out;
+}
+
+}  // namespace rv::study

@@ -1,0 +1,54 @@
+// Analysis helpers: extract the metric vectors and groupings each paper
+// figure plots from a set of trace records.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/cdf.h"
+#include "stats/histogram.h"
+#include "tracer/record.h"
+
+namespace rv::study {
+
+using Records = std::vector<const tracer::TraceRecord*>;
+
+// Metric extractors ---------------------------------------------------------
+std::vector<double> frame_rates(const Records& records);
+std::vector<double> jitters_ms(const Records& records);
+std::vector<double> bandwidths_kbps(const Records& records);
+std::vector<double> ratings(const Records& records);
+
+// Group-by helpers ----------------------------------------------------------
+Records filter(const Records& records,
+               const std::function<bool(const tracer::TraceRecord&)>& pred);
+
+// Label → subset, for the paper's standard splits.
+std::map<std::string, Records> by_connection(const Records& records);
+std::map<std::string, Records> by_protocol(const Records& records);
+std::map<std::string, Records> by_server_group(const Records& records);
+std::map<std::string, Records> by_user_group(const Records& records);
+std::map<std::string, Records> by_pc_class(const Records& records);
+// Fig 25's bandwidth buckets: < 10K, 10K-100K, > 100K.
+std::map<std::string, Records> by_bandwidth_bucket(const Records& records);
+
+// Count tables for the bar-chart figures ------------------------------------
+stats::CountTable clips_played_by_country(const Records& played);
+stats::CountTable clips_served_by_country(const Records& played);
+stats::CountTable clips_played_by_us_state(const Records& played);
+// Fig 10: fraction of accesses that found the clip unavailable, per server.
+std::map<std::string, double> unavailability_by_server(
+    const Records& accesses);
+
+// Per-user counts (Figs 5 and 6): one value per user who contributed.
+std::vector<double> plays_per_user(const Records& accesses);
+std::vector<double> ratings_per_user(const Records& accesses);
+
+// Builds a CDF per group, ordered by label, for render_cdfs.
+std::vector<stats::LabeledCdf> group_cdfs(
+    const std::map<std::string, Records>& groups,
+    const std::function<std::vector<double>(const Records&)>& metric);
+
+}  // namespace rv::study

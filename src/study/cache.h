@@ -1,0 +1,31 @@
+// Binary (de)serialisation of a StudyResult, so the ~25 bench binaries can
+// share one full study run instead of each re-simulating 2855 plays.
+//
+// The cache file is keyed by a hash of the study configuration; a stale or
+// mismatched file is ignored and the study re-runs.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "study/study.h"
+
+namespace rv::study {
+
+// A stable hash of every config field that affects the records.
+std::uint64_t config_fingerprint(const StudyConfig& config);
+
+// Default cache path for a config (in the current working directory).
+std::string default_cache_path(const StudyConfig& config);
+
+bool save_result(const std::string& path, const StudyConfig& config,
+                 const StudyResult& result);
+
+std::optional<StudyResult> load_result(const std::string& path,
+                                       const StudyConfig& config);
+
+// Loads from the default path when fresh, otherwise runs the study and
+// saves. Benches call this.
+StudyResult run_study_cached(const StudyConfig& config);
+
+}  // namespace rv::study

@@ -1,0 +1,94 @@
+#include "study/study.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "util/check.h"
+#include "world/servers.h"
+
+namespace rv::study {
+
+media::Catalog make_catalog(const StudyConfig& config) {
+  std::vector<media::SiteProfile> profiles;
+  for (const auto& site : world::server_sites()) {
+    profiles.push_back(site.profile);
+  }
+  media::CatalogSpec spec = config.catalog;
+  spec.seed = config.seed;
+  return media::Catalog(spec, profiles);
+}
+
+StudyResult run_study(const StudyConfig& config) {
+  StudyResult result;
+  result.users = world::generate_population(config.population);
+  if (config.play_scale < 1.0) {
+    for (auto& u : result.users) {
+      u.clips_to_play = std::max(
+          1, static_cast<int>(std::lround(u.clips_to_play *
+                                          config.play_scale)));
+      u.clips_to_rate = std::min(u.clips_to_rate, u.clips_to_play);
+    }
+  }
+
+  const media::Catalog catalog = make_catalog(config);
+  const world::RegionGraph graph;
+  const tracer::RealTracer tracer(catalog, graph, config.tracer);
+
+  // One slot per user keeps the output order (and thus the result)
+  // independent of thread scheduling.
+  std::vector<std::vector<tracer::TraceRecord>> per_user(result.users.size());
+  std::atomic<std::size_t> next{0};
+  int n_threads = config.threads > 0
+                      ? config.threads
+                      : static_cast<int>(std::thread::hardware_concurrency());
+  n_threads = std::clamp(n_threads, 1, 64);
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= result.users.size()) return;
+      per_user[i] = tracer.run_user(result.users[i], config.seed);
+    }
+  };
+  if (n_threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(n_threads));
+    for (int i = 0; i < n_threads; ++i) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  for (auto& records : per_user) {
+    for (auto& rec : records) result.records.push_back(std::move(rec));
+  }
+  return result;
+}
+
+std::vector<const tracer::TraceRecord*> StudyResult::accesses() const {
+  std::vector<const tracer::TraceRecord*> out;
+  for (const auto& r : records) {
+    if (!r.rtsp_blocked_user) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const tracer::TraceRecord*> StudyResult::played() const {
+  std::vector<const tracer::TraceRecord*> out;
+  for (const auto& r : records) {
+    if (r.analyzable()) out.push_back(&r);
+  }
+  return out;
+}
+
+std::vector<const tracer::TraceRecord*> StudyResult::rated() const {
+  std::vector<const tracer::TraceRecord*> out;
+  for (const auto& r : records) {
+    if (r.analyzable() && r.rated()) out.push_back(&r);
+  }
+  return out;
+}
+
+}  // namespace rv::study

@@ -1,0 +1,46 @@
+// The study driver: re-runs the paper's whole June-2001 measurement
+// campaign inside the simulator — 63 users, 98-clip playlist, 11 servers —
+// and returns every TraceRecord for analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "media/catalog.h"
+#include "tracer/real_tracer.h"
+#include "world/region_graph.h"
+#include "world/users.h"
+
+namespace rv::study {
+
+struct StudyConfig {
+  std::uint64_t seed = 2001;
+  media::CatalogSpec catalog;
+  world::PopulationConfig population;
+  tracer::TracerConfig tracer;
+  int threads = 0;  // 0 = hardware concurrency
+  // Scale factor on per-user play counts (quick test runs set < 1).
+  double play_scale = 1.0;
+};
+
+struct StudyResult {
+  std::vector<world::UserProfile> users;
+  std::vector<tracer::TraceRecord> records;
+
+  // Records from non-firewalled users (the paper's analysis set,
+  // availability included — Fig 10 uses these).
+  std::vector<const tracer::TraceRecord*> accesses() const;
+  // Played, reachable records: the performance analysis set.
+  std::vector<const tracer::TraceRecord*> played() const;
+  // Played and rated records (Figs 26-28).
+  std::vector<const tracer::TraceRecord*> rated() const;
+};
+
+// Runs the full study. Deterministic in config.seed (thread count does not
+// affect results).
+StudyResult run_study(const StudyConfig& config);
+
+// The catalog a study config implies (shared by benches needing clip info).
+media::Catalog make_catalog(const StudyConfig& config);
+
+}  // namespace rv::study

@@ -1,0 +1,69 @@
+#include "tracer/rating.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rv::tracer {
+namespace {
+
+// Piecewise-linear frame-rate score hitting the paper's perceptual
+// thresholds (§V): 3 fps = barely acceptable, 15 fps = smooth, 25 = full
+// motion.
+double frame_rate_score(double fps) {
+  if (fps <= 0.0) return 0.0;
+  if (fps < 3.0) return 0.12 * fps;                      // up to 0.36
+  if (fps < 15.0) return 0.36 + (fps - 3.0) * (0.39 / 12.0);  // to 0.75
+  if (fps < 25.0) return 0.75 + (fps - 15.0) * (0.25 / 10.0);
+  return 1.0;
+}
+
+// Jitter penalty: imperceptible below 50 ms, strong past 300 ms (§V).
+double jitter_penalty(double jitter_ms) {
+  if (jitter_ms <= 50.0) return 0.0;
+  if (jitter_ms >= 1000.0) return 0.75;
+  if (jitter_ms <= 300.0) return (jitter_ms - 50.0) * (0.45 / 250.0);
+  return 0.45 + (jitter_ms - 300.0) * (0.30 / 700.0);
+}
+
+}  // namespace
+
+RaterProfile make_rater(util::Rng& rng) {
+  RaterProfile r;
+  r.center = std::clamp(rng.normal(5.0, 1.2), 2.0, 8.0);
+  r.gain = rng.uniform(0.30, 0.85);
+  // §V.C: users were split on whether audio counts.
+  r.rates_video_only = rng.bernoulli(0.55);
+  r.content_noise = rng.uniform(1.3, 2.5);
+  return r;
+}
+
+double intrinsic_quality(const client::ClipStats& stats) {
+  const double fr = frame_rate_score(stats.measured_fps);
+  const double jp = jitter_penalty(stats.jitter_ms);
+  double q = 10.0 * (0.55 * fr + 0.45 * (1.0 - jp));
+  // Rebuffering halts are memorable events.
+  q -= 0.6 * static_cast<double>(stats.rebuffer_events);
+  if (stats.play_seconds > 1.0) {
+    q -= 4.0 * std::min(0.5, stats.rebuffer_seconds / stats.play_seconds);
+  }
+  return std::clamp(q, 0.0, 10.0);
+}
+
+double rate_clip(const RaterProfile& rater, const client::ClipStats& stats,
+                 util::Rng& rng) {
+  double q = intrinsic_quality(stats);
+  // Audio-inclusive raters forgive low-bandwidth clips: the audio track
+  // still sounds fine at modem rates (Fig 28's upper-left cluster).
+  if (!rater.rates_video_only && stats.measured_bandwidth < kbps(50)) {
+    q += rng.uniform(1.0, 3.0);
+  }
+  // Centering on 6 (not the scale midpoint) keeps the population mean near
+  // 5: most playouts are decent, and raters normalise around their own
+  // typical experience (§V.C).
+  const double centered =
+      rater.center + rater.gain * (q - 6.0) +
+      rng.uniform(-rater.content_noise, rater.content_noise);
+  return std::clamp(centered, 0.0, 10.0);
+}
+
+}  // namespace rv::tracer

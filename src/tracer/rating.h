@@ -1,0 +1,36 @@
+// Synthetic perceptual-quality rating model.
+//
+// §V.C of the paper explains the observed near-uniform rating CDF by (a)
+// per-user normalisation — "users came up with a set of quality rating
+// criteria of their own"; (b) confusion over whether to rate video alone or
+// audio+video (audio survives low bandwidth, so audio-inclusive raters score
+// low-bandwidth clips high — the "clustering in the upper left corner" of
+// Fig 28); and (c) content interest bleeding into scores. We model exactly
+// those three mechanisms on top of an intrinsic quality derived from frame
+// rate, jitter and rebuffering (per the authors' prior work [CT99]).
+#pragma once
+
+#include "client/clip_stats.h"
+#include "util/rng.h"
+
+namespace rv::tracer {
+
+// A user's personal rating function parameters.
+struct RaterProfile {
+  double center = 5.0;        // where this user's "average" sits
+  double gain = 0.6;          // how strongly quality moves their score
+  bool rates_video_only = true;
+  double content_noise = 1.5; // +/- interest-driven noise amplitude
+};
+
+// Draws a user's personal rating style.
+RaterProfile make_rater(util::Rng& rng);
+
+// Intrinsic 0..10 quality of a playout from its system measurements.
+double intrinsic_quality(const client::ClipStats& stats);
+
+// The 0..10 rating this user gives this playout.
+double rate_clip(const RaterProfile& rater, const client::ClipStats& stats,
+                 util::Rng& rng);
+
+}  // namespace rv::tracer

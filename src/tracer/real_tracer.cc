@@ -1,0 +1,142 @@
+#include "tracer/real_tracer.h"
+#include <cmath>
+
+#include <algorithm>
+
+#include "client/real_player.h"
+#include "tracer/rating.h"
+#include "util/check.h"
+
+namespace rv::tracer {
+namespace {
+
+TraceRecord base_record(const world::UserProfile& user,
+                        const media::Catalog& catalog,
+                        std::size_t playlist_index) {
+  const media::Clip& clip = catalog.clip(playlist_index);
+  const std::size_t site_idx = media::Catalog::site_of(clip.id());
+  const auto& site = world::server_sites().at(site_idx);
+  TraceRecord rec;
+  rec.user_id = user.id;
+  rec.country = user.country;
+  rec.us_state = user.us_state;
+  rec.user_group = user.group;
+  rec.connection = user.connection;
+  rec.pc_class = user.pc_class;
+  rec.rtsp_blocked_user = user.rtsp_blocked;
+  rec.clip_id = clip.id();
+  rec.site = site_idx;
+  rec.server_name = site.name;
+  rec.server_country = site.country;
+  rec.server_group = site.group;
+  return rec;
+}
+
+}  // namespace
+
+TraceRecord RealTracer::run_single(const world::UserProfile& user,
+                                   std::size_t playlist_index,
+                                   std::uint64_t play_seed,
+                                   bool force_tcp) const {
+  TraceRecord rec = base_record(user, catalog_, playlist_index);
+  const auto& site = world::server_sites().at(rec.site);
+  util::Rng rng(play_seed);
+
+  sim::Simulator sim;
+  world::PathBuilder builder(graph_, config_.path);
+  const world::AccessSpec access =
+      world::access_spec_for(user.connection, rng);
+  world::PlayPath path = builder.build(sim, user, access, site, rng);
+  path.start_cross_traffic();
+
+  server::RealServerConfig server_cfg;
+  server_cfg.udp_control = config_.udp_control;
+  server_cfg.sender.surestream_enabled = config_.surestream_enabled;
+  server_cfg.sender.svt_enabled = config_.svt_enabled;
+  server_cfg.sender.adaptive_packet_size = config_.adaptive_packet_size;
+  server_cfg.sender.live = config_.live_content;
+  server_cfg.tcp.sack_enabled = config_.tcp_sack;
+  server_cfg.sender.preroll_media_seconds = config_.preroll_media_seconds;
+  server::RealServerApp server(*path.network, path.server_node, catalog_,
+                               server_cfg, rng.fork("server"));
+
+  client::RealPlayerConfig player_cfg;
+  player_cfg.playout.pc = client::pc_class_by_name(user.pc_class);
+  player_cfg.playout.preroll_target_sec = config_.preroll_media_seconds;
+  // Desktop playout wobble varies widely across machines and sessions.
+  player_cfg.playout.host_timing_noise_ms =
+      std::clamp(rng.lognormal(std::log(20.0), 0.8), 2.0, 120.0);
+  player_cfg.playout.noise_seed = rng.next_u64();
+  player_cfg.reported_bandwidth =
+      world::reported_bandwidth_for(user.connection);
+  player_cfg.watch_duration = config_.watch_duration;
+  player_cfg.tcp.sack_enabled = config_.tcp_sack;
+  player_cfg.udp_blocked = user.udp_blocked;
+  player_cfg.prefer_udp = !force_tcp;
+  client::RealPlayerApp player(*path.network, path.client_node,
+                               {path.server_node, net::kRtspPort},
+                               catalog_.clip(playlist_index).id(), catalog_,
+                               player_cfg);
+  player.start();
+  sim.run_until(config_.play_horizon);
+
+  rec.available = !player.clip_unavailable();
+  rec.stats = player.stats();
+  return rec;
+}
+
+std::vector<TraceRecord> RealTracer::run_user(
+    const world::UserProfile& user, std::uint64_t study_seed) const {
+  util::Rng user_rng(user.seed ^ study_seed);
+  std::vector<TraceRecord> records;
+  const int plays =
+      std::min<int>(user.clips_to_play, static_cast<int>(catalog_.size()));
+
+  // Which of the played clips this user rates (spread over the session).
+  std::vector<std::size_t> order(static_cast<std::size_t>(plays));
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<std::size_t> to_rate = order;
+  user_rng.shuffle(to_rate);
+  to_rate.resize(std::min<std::size_t>(
+      static_cast<std::size_t>(user.clips_to_rate), to_rate.size()));
+  std::sort(to_rate.begin(), to_rate.end());
+
+  RaterProfile rater = make_rater(user_rng);
+
+  for (int i = 0; i < plays; ++i) {
+    const auto playlist_index =
+        static_cast<std::size_t>(i) % catalog_.size();
+    util::Rng play_rng = user_rng.fork(static_cast<std::uint64_t>(i));
+
+    TraceRecord rec = base_record(user, catalog_, playlist_index);
+    if (user.rtsp_blocked) {
+      // Firewalled participant: RTSP never gets through; the paper removed
+      // these users from all analysis (§IV).
+      rec.available = false;
+      records.push_back(std::move(rec));
+      continue;
+    }
+
+    const auto& site = world::server_sites().at(rec.site);
+    if (play_rng.bernoulli(site.unavailability)) {
+      rec.available = false;  // Fig 10: clip unreachable this time
+      records.push_back(std::move(rec));
+      continue;
+    }
+
+    const bool force_tcp =
+        play_rng.bernoulli(config_.direct_tcp_probability);
+    rec = run_single(user, playlist_index, play_rng.next_u64(), force_tcp);
+
+    const bool rate_this =
+        std::binary_search(to_rate.begin(), to_rate.end(),
+                           static_cast<std::size_t>(i));
+    if (rate_this && rec.analyzable()) {
+      rec.rating = rate_clip(rater, rec.stats, play_rng);
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+}  // namespace rv::tracer

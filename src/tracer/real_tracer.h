@@ -1,0 +1,60 @@
+// RealTracer analog: drives one user through their playlist, one simulated
+// streaming session per clip, producing TraceRecords (§III.A of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "media/catalog.h"
+#include "server/real_server.h"
+#include "tracer/record.h"
+#include "world/path_builder.h"
+#include "world/region_graph.h"
+#include "world/servers.h"
+#include "world/users.h"
+
+namespace rv::tracer {
+
+struct TracerConfig {
+  SimTime watch_duration = sec(60);   // RealTracer's per-clip play window
+  SimTime play_horizon = sec(220);    // hard cap per simulated session
+  // Probability a play uses TCP straight away (user/ISP auto-config state),
+  // on top of firewalled-UDP fallbacks. Calibrates the Fig 16 protocol mix.
+  double direct_tcp_probability = 0.22;
+  server::CongestionControlKind udp_control =
+      server::CongestionControlKind::kAimd;
+  world::PathBuilderConfig path;
+  // Overrides for ablation benches.
+  bool surestream_enabled = true;
+  bool svt_enabled = true;
+  bool adaptive_packet_size = true;
+  // Live content (paper §VIII): the sender is pinned to the live edge.
+  bool live_content = false;
+  // RFC 2018 SACK on both TCP endpoints (ablation; 2001 stacks were mixed).
+  bool tcp_sack = false;
+  double preroll_media_seconds = 8.0;
+};
+
+class RealTracer {
+ public:
+  RealTracer(const media::Catalog& catalog, const world::RegionGraph& graph,
+             const TracerConfig& config)
+      : catalog_(catalog), graph_(graph), config_(config) {}
+
+  // Runs the user's whole playlist; deterministic in (user, study_seed).
+  std::vector<TraceRecord> run_user(const world::UserProfile& user,
+                                    std::uint64_t study_seed) const;
+
+  // Runs a single play and returns its record (used by Fig 1 and the
+  // ablation benches). `udp_blocked`/`force_tcp` override the user profile.
+  TraceRecord run_single(const world::UserProfile& user,
+                         std::size_t playlist_index, std::uint64_t play_seed,
+                         bool force_tcp = false) const;
+
+ private:
+  const media::Catalog& catalog_;
+  const world::RegionGraph& graph_;
+  TracerConfig config_;
+};
+
+}  // namespace rv::tracer

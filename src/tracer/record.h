@@ -1,0 +1,42 @@
+// One RealTracer trace record: everything the study logs per clip access.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "client/clip_stats.h"
+#include "world/types.h"
+
+namespace rv::tracer {
+
+struct TraceRecord {
+  // Who played it.
+  int user_id = 0;
+  std::string country;
+  std::string us_state;
+  world::UserRegionGroup user_group = world::UserRegionGroup::kUsCanada;
+  world::ConnectionClass connection = world::ConnectionClass::kDslCable;
+  std::string pc_class;
+  bool rtsp_blocked_user = false;  // excluded from analysis, as in §IV
+
+  // What was played, from where.
+  std::uint32_t clip_id = 0;
+  std::size_t site = 0;
+  std::string server_name;
+  std::string server_country;
+  world::ServerRegionGroup server_group = world::ServerRegionGroup::kUsCanada;
+
+  // Outcome.
+  bool available = true;           // clip reachable (Fig 10)
+  client::ClipStats stats;
+  double rating = -1.0;            // 0..10; -1 = not rated
+
+  bool rated() const { return rating >= 0.0; }
+  // A record that contributes to the performance analysis (played,
+  // reachable, not from an excluded firewalled user).
+  bool analyzable() const {
+    return available && !rtsp_blocked_user && stats.played_any_frame;
+  }
+};
+
+}  // namespace rv::tracer

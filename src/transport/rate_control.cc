@@ -1,0 +1,66 @@
+#include "transport/rate_control.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace rv::transport {
+
+AimdRateController::AimdRateController(const AimdConfig& config)
+    : config_(config), rate_(config.initial_rate) {
+  RV_CHECK_GT(config.min_rate, 0.0);
+  RV_CHECK_GE(config.max_rate, config.min_rate);
+}
+
+void AimdRateController::on_feedback(const FeedbackReport& report) {
+  if (report.loss_fraction > config_.loss_threshold) {
+    rate_ = std::max(rate_ * config_.decrease_factor, config_.min_rate);
+  } else {
+    rate_ = std::min(rate_ + config_.increase_per_report, config_.max_rate);
+  }
+}
+
+TfrcController::TfrcController(const TfrcConfig& config)
+    : config_(config), rate_(config.initial_rate) {
+  RV_CHECK_GT(config.segment_bytes, 0);
+}
+
+void TfrcController::on_feedback(const FeedbackReport& report) {
+  if (report.loss_fraction > 0.0) seen_loss_ = true;
+  loss_ = seen_loss_
+              ? (1.0 - config_.loss_ewma) * loss_ +
+                    config_.loss_ewma * report.loss_fraction
+              : 0.0;
+  const double rtt = std::max(report.rtt_seconds, 1e-3);
+  if (loss_ < 1e-6) {
+    // No loss observed yet: probe upward, bounded by twice the rate the
+    // receiver actually saw (standard TFRC slow-start bound).
+    const BitsPerSec bound =
+        report.receive_rate > 0 ? 2.0 * report.receive_rate : rate_ * 2.0;
+    rate_ = std::min({rate_ * 1.5, bound, config_.max_rate});
+    rate_ = std::max(rate_, config_.min_rate);
+    return;
+  }
+  const BitsPerSec x = tcp_friendly_rate(config_.segment_bytes, rtt, loss_);
+  // TFRC also bounds the send rate by twice the receive rate.
+  const BitsPerSec bound =
+      report.receive_rate > 0 ? 2.0 * report.receive_rate : x;
+  rate_ = std::clamp(std::min(x, bound), config_.min_rate, config_.max_rate);
+}
+
+BitsPerSec tcp_friendly_rate(std::int32_t segment_bytes, double rtt_seconds,
+                             double loss_rate) {
+  RV_CHECK_GT(segment_bytes, 0);
+  RV_CHECK_GT(rtt_seconds, 0.0);
+  const double p = std::clamp(loss_rate, 1e-8, 1.0);
+  const double r = rtt_seconds;
+  const double t_rto = 4.0 * r;
+  const double denom =
+      r * std::sqrt(2.0 * p / 3.0) +
+      t_rto * (3.0 * std::sqrt(3.0 * p / 8.0)) * p * (1.0 + 32.0 * p * p);
+  const double bytes_per_sec = static_cast<double>(segment_bytes) / denom;
+  return bytes_per_sec * 8.0;
+}
+
+}  // namespace rv::transport

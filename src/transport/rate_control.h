@@ -1,0 +1,101 @@
+// Application-layer congestion control for UDP streaming.
+//
+// RealSystem's RDT transport is proprietary; the paper infers from Fig 18
+// that RealVideo-over-UDP adapts its rate to congestion "comparable to TCP"
+// though "perhaps not quite TCP-friendly". We implement the two standard
+// mechanisms of the period:
+//  - AimdRateController: additive-increase / multiplicative-decrease driven
+//    by receiver loss reports (the RealSystem-style adaptation).
+//  - TfrcController: TCP-throughput-equation control [FHPW00], the
+//    "TCP-friendly" comparator the paper cites.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "util/units.h"
+
+namespace rv::transport {
+
+// Receiver report for one feedback interval.
+struct FeedbackReport {
+  double loss_fraction = 0.0;     // lost / expected over the interval
+  BitsPerSec receive_rate = 0.0;  // application goodput over the interval
+  double rtt_seconds = 0.0;       // estimated round-trip time
+  SimTime interval = 0;           // report interval length
+};
+
+class RateController {
+ public:
+  virtual ~RateController() = default;
+  virtual void on_feedback(const FeedbackReport& report) = 0;
+  // The rate the sender may currently use.
+  virtual BitsPerSec allowed_rate() const = 0;
+  virtual const char* name() const = 0;
+};
+
+struct AimdConfig {
+  BitsPerSec initial_rate = kbps(100);
+  BitsPerSec min_rate = kbps(8);
+  BitsPerSec max_rate = mbps(2);
+  double loss_threshold = 0.02;   // reports above this count as congestion
+  double decrease_factor = 0.55;
+  BitsPerSec increase_per_report = kbps(6);
+};
+
+class AimdRateController final : public RateController {
+ public:
+  explicit AimdRateController(const AimdConfig& config);
+  void on_feedback(const FeedbackReport& report) override;
+  BitsPerSec allowed_rate() const override { return rate_; }
+  const char* name() const override { return "aimd"; }
+
+ private:
+  AimdConfig config_;
+  BitsPerSec rate_;
+};
+
+struct TfrcConfig {
+  BitsPerSec initial_rate = kbps(100);
+  BitsPerSec min_rate = kbps(8);
+  BitsPerSec max_rate = mbps(2);
+  std::int32_t segment_bytes = 1000;
+  double loss_ewma = 0.25;  // weight of the newest loss sample
+};
+
+class TfrcController final : public RateController {
+ public:
+  explicit TfrcController(const TfrcConfig& config);
+  void on_feedback(const FeedbackReport& report) override;
+  BitsPerSec allowed_rate() const override { return rate_; }
+  const char* name() const override { return "tfrc"; }
+
+  double smoothed_loss() const { return loss_; }
+
+ private:
+  TfrcConfig config_;
+  BitsPerSec rate_;
+  double loss_ = 0.0;
+  bool seen_loss_ = false;
+};
+
+// The TCP throughput equation of Padhye et al., as used by TFRC [FHPW00]:
+// X = s / (R*sqrt(2p/3) + t_RTO * (3*sqrt(3p/8)) * p * (1 + 32 p^2))
+// with t_RTO = 4R. Returns bits/sec.
+BitsPerSec tcp_friendly_rate(std::int32_t segment_bytes, double rtt_seconds,
+                             double loss_rate);
+
+// A fixed-rate "controller": the unresponsive-UDP baseline the paper worries
+// about (useful for the ablation benches).
+class FixedRateController final : public RateController {
+ public:
+  explicit FixedRateController(BitsPerSec rate) : rate_(rate) {}
+  void on_feedback(const FeedbackReport&) override {}
+  BitsPerSec allowed_rate() const override { return rate_; }
+  const char* name() const override { return "fixed"; }
+
+ private:
+  BitsPerSec rate_;
+};
+
+}  // namespace rv::transport

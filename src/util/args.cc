@@ -1,0 +1,60 @@
+#include "util/args.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace rv::util {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token isn't itself a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).substr(0, 2) != "--") {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "";  // bare flag
+    }
+  }
+}
+
+std::optional<std::string> Args::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get_or(const std::string& key,
+                         const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return fallback;
+  return std::atof(v->c_str());
+}
+
+std::int64_t Args::get_int(const std::string& key,
+                           std::int64_t fallback) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return fallback;
+  return std::atoll(v->c_str());
+}
+
+bool Args::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+}  // namespace rv::util

@@ -1,0 +1,37 @@
+// Minimal command-line argument parser for the tools.
+//
+// Supports --flag, --key value and --key=value forms plus positional
+// arguments. Unknown flags are collected so tools can report them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rv::util {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  const std::string& program() const { return program_; }
+
+  // --key value / --key=value lookup.
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_or(const std::string& key, const std::string& fallback)
+      const;
+  double get_double(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  // --flag present (no value)?
+  bool has(const std::string& key) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rv::util

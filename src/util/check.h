@@ -1,0 +1,74 @@
+// Invariant-checking macros.
+//
+// RV_CHECK fires in all build types and throws rv::util::CheckError so that
+// tests can assert on violated invariants; RV_DCHECK compiles out in NDEBUG
+// builds and is meant for hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rv::util {
+
+// Thrown when a RV_CHECK invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+// Collects an optional streamed message for RV_CHECK(cond) << "context".
+class CheckMessage {
+ public:
+  CheckMessage(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+  [[noreturn]] ~CheckMessage() noexcept(false) {
+    check_failed(expr_, file_, line_, os_.str());
+  }
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+}  // namespace internal
+}  // namespace rv::util
+
+#define RV_CHECK(cond)                                            \
+  if (cond) {                                                     \
+  } else                                                          \
+    ::rv::util::internal::CheckMessage(#cond, __FILE__, __LINE__)
+
+#define RV_CHECK_OP(lhs, op, rhs) RV_CHECK((lhs)op(rhs))
+#define RV_CHECK_EQ(lhs, rhs) RV_CHECK_OP(lhs, ==, rhs)
+#define RV_CHECK_NE(lhs, rhs) RV_CHECK_OP(lhs, !=, rhs)
+#define RV_CHECK_LT(lhs, rhs) RV_CHECK_OP(lhs, <, rhs)
+#define RV_CHECK_LE(lhs, rhs) RV_CHECK_OP(lhs, <=, rhs)
+#define RV_CHECK_GT(lhs, rhs) RV_CHECK_OP(lhs, >, rhs)
+#define RV_CHECK_GE(lhs, rhs) RV_CHECK_OP(lhs, >=, rhs)
+
+#ifdef NDEBUG
+#define RV_DCHECK(cond) \
+  if (true) {           \
+  } else                \
+    ::rv::util::internal::CheckMessage(#cond, __FILE__, __LINE__)
+#else
+#define RV_DCHECK(cond) RV_CHECK(cond)
+#endif

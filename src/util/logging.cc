@@ -1,0 +1,40 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace rv::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+void emit_log(LogLevel level, const std::string& msg) {
+  std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+}
+
+}  // namespace internal
+}  // namespace rv::util

@@ -1,0 +1,52 @@
+// Minimal leveled logging to stderr.
+//
+// The simulator is quiet by default (kWarn); tests and examples raise the
+// level when diagnosing a scenario. Not thread-safe beyond the atomicity of
+// the level itself — per-play simulations log from one thread at a time.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rv::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global minimum level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace internal {
+
+void emit_log(LogLevel level, const std::string& msg);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { emit_log(level_, os_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+// Swallows the streamed expression when the level is disabled.
+struct LogSink {
+  template <typename T>
+  LogSink& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace rv::util
+
+#define RV_LOG(level)                                              \
+  if (::rv::util::LogLevel::level < ::rv::util::log_level()) {     \
+  } else                                                           \
+    ::rv::util::internal::LogMessage(::rv::util::LogLevel::level)

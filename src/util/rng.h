@@ -1,0 +1,72 @@
+// Deterministic random number generation.
+//
+// The whole study must be bit-reproducible from a single seed, so every
+// stochastic component draws from an rv::util::Rng that was derived (via
+// Rng::fork) from its parent's stream. xoshiro256** is used for speed and
+// quality; seeding goes through SplitMix64 as its authors recommend.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rv::util {
+
+// xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  // Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform();
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  // Standard normal via Box–Muller (cached second value).
+  double normal();
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+  // Lognormal with the given mean/stddev of the *underlying* normal.
+  double lognormal(double mu, double sigma);
+  // Exponential with the given mean (= 1/lambda).
+  double exponential(double mean);
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Index drawn proportionally to non-negative weights (at least one > 0).
+  std::size_t weighted_index(std::span<const double> weights);
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // A new, statistically independent generator derived from this stream and a
+  // label; forking with distinct labels yields distinct deterministic streams.
+  Rng fork(std::uint64_t label);
+  Rng fork(std::string_view label);
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+// Stable 64-bit FNV-1a hash of a string (for labelled forks / clip seeds).
+std::uint64_t stable_hash(std::string_view s);
+
+}  // namespace rv::util

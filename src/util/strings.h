@@ -1,0 +1,35 @@
+// Small string helpers used by the RTSP codec and report rendering.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rv::util {
+
+// Splits on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+// Splits on the first occurrence of `sep`; returns {s, ""} when absent.
+std::pair<std::string, std::string> split_first(std::string_view s, char sep);
+
+// Strips ASCII whitespace from both ends.
+std::string trim(std::string_view s);
+
+std::string to_lower(std::string_view s);
+
+bool iequals(std::string_view a, std::string_view b);
+
+// Concatenates stream-formattable arguments.
+template <typename... Args>
+std::string str_cat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+// printf-style double formatting with fixed decimals.
+std::string format_double(double v, int decimals);
+
+}  // namespace rv::util

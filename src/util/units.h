@@ -1,0 +1,50 @@
+// Time and bandwidth units used throughout the simulator.
+//
+// Simulated time is an integer count of microseconds (SimTime) so that event
+// ordering is exact and runs are bit-reproducible. Bandwidth is carried as
+// double bits-per-second; helper constructors/readers keep call sites honest
+// about units.
+#pragma once
+
+#include <cstdint>
+
+namespace rv {
+
+// Simulated time in microseconds since the start of a simulation.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kUsecPerMsec = 1'000;
+inline constexpr SimTime kUsecPerSec = 1'000'000;
+
+constexpr SimTime usec(std::int64_t n) { return n; }
+constexpr SimTime msec(std::int64_t n) { return n * kUsecPerMsec; }
+constexpr SimTime sec(std::int64_t n) { return n * kUsecPerSec; }
+constexpr SimTime seconds_to_sim(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kUsecPerSec));
+}
+
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kUsecPerSec);
+}
+constexpr double to_msec(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kUsecPerMsec);
+}
+
+// Bandwidth in bits per second.
+using BitsPerSec = double;
+
+constexpr BitsPerSec kbps(double k) { return k * 1'000.0; }
+constexpr BitsPerSec mbps(double m) { return m * 1'000'000.0; }
+constexpr double to_kbps(BitsPerSec b) { return b / 1'000.0; }
+
+// Serialization time for `bytes` at rate `rate` (rounded up to whole usec so
+// that a non-empty packet never transmits in zero time).
+constexpr SimTime transmission_time(std::int64_t bytes, BitsPerSec rate) {
+  if (rate <= 0.0) return 0;
+  const double usecs =
+      static_cast<double>(bytes) * 8.0 * 1e6 / static_cast<double>(rate);
+  const auto whole = static_cast<SimTime>(usecs);
+  return (usecs > static_cast<double>(whole)) ? whole + 1 : whole;
+}
+
+}  // namespace rv

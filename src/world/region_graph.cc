@@ -1,0 +1,95 @@
+#include "world/region_graph.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace rv::world {
+namespace {
+
+constexpr Region kAllRegions[] = {
+    Region::kUsEast,       Region::kUsWest, Region::kEurope,
+    Region::kAsia,         Region::kJapan,  Region::kAustralia,
+    Region::kSouthAmerica, Region::kMiddleEast,
+};
+
+int idx(Region r) { return static_cast<int>(r); }
+
+}  // namespace
+
+RegionGraph::RegionGraph() {
+  // Transoceanic and transcontinental links of the period. Loads encode how
+  // congested each corridor typically was: trans-Pacific and developing-
+  // world links ran hot, intra-US and US–Europe had more headroom.
+  links_ = {
+      {Region::kUsEast, Region::kUsWest, mbps(100), msec(32), 0.30, 0.75},
+      {Region::kUsEast, Region::kEurope, mbps(60), msec(44), 0.35, 0.80},
+      {Region::kUsWest, Region::kJapan, mbps(30), msec(58), 0.45, 0.90},
+      {Region::kJapan, Region::kAsia, mbps(15), msec(24), 0.50, 0.92},
+      {Region::kEurope, Region::kAsia, mbps(10), msec(88), 0.55, 0.92},
+      {Region::kUsWest, Region::kAustralia, mbps(20), msec(74), 0.40, 0.85},
+      {Region::kUsEast, Region::kSouthAmerica, mbps(12), msec(56), 0.45,
+       0.88},
+      {Region::kEurope, Region::kMiddleEast, mbps(10), msec(36), 0.45, 0.90},
+  };
+
+  // All-pairs shortest paths by propagation delay (tiny graph: Dijkstra per
+  // source).
+  for (auto& row : next_hop_) row.fill(-1);
+  for (const Region src : kAllRegions) {
+    std::array<SimTime, kRegionCount> dist{};
+    dist.fill(std::numeric_limits<SimTime>::max());
+    std::array<int, kRegionCount> first_link{};
+    first_link.fill(-1);
+    using Item = std::pair<SimTime, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    dist[idx(src)] = 0;
+    heap.push({0, idx(src)});
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (d > dist[u]) continue;
+      for (std::size_t li = 0; li < links_.size(); ++li) {
+        const auto& l = links_[li];
+        int v = -1;
+        if (idx(l.a) == u) v = idx(l.b);
+        if (idx(l.b) == u) v = idx(l.a);
+        if (v < 0) continue;
+        const SimTime nd = d + l.delay;
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          first_link[v] =
+              (u == idx(src)) ? static_cast<int>(li) : first_link[u];
+          heap.push({nd, v});
+        }
+      }
+    }
+    for (const Region dst : kAllRegions) {
+      next_hop_[idx(src)][idx(dst)] = first_link[idx(dst)];
+    }
+  }
+}
+
+std::vector<std::size_t> RegionGraph::path(Region a, Region b) const {
+  std::vector<std::size_t> out;
+  Region cur = a;
+  int guard = 0;
+  while (cur != b) {
+    const int li = next_hop_[idx(cur)][idx(b)];
+    RV_CHECK_GE(li, 0) << "disconnected regions";
+    out.push_back(static_cast<std::size_t>(li));
+    const auto& l = links_[static_cast<std::size_t>(li)];
+    cur = (l.a == cur) ? l.b : l.a;
+    RV_CHECK_LT(++guard, kRegionCount) << "routing loop";
+  }
+  return out;
+}
+
+SimTime RegionGraph::path_delay(Region a, Region b) const {
+  SimTime total = 0;
+  for (const auto li : path(a, b)) total += links_[li].delay;
+  return total;
+}
+
+}  // namespace rv::world

@@ -1,0 +1,40 @@
+// The 2001-calibre inter-region backbone: capacities, propagation delays and
+// background-load ranges, plus shortest-path lookup between regions.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "world/types.h"
+
+namespace rv::world {
+
+struct BackboneLink {
+  Region a;
+  Region b;
+  BitsPerSec capacity;
+  SimTime delay;       // one-way propagation
+  double load_lo;      // background utilisation range, sampled per play
+  double load_hi;
+};
+
+class RegionGraph {
+ public:
+  RegionGraph();
+
+  const std::vector<BackboneLink>& links() const { return links_; }
+
+  // Indices into links() along the delay-shortest path a → b (empty when
+  // a == b).
+  std::vector<std::size_t> path(Region a, Region b) const;
+
+  // Total propagation delay along path(a, b).
+  SimTime path_delay(Region a, Region b) const;
+
+ private:
+  std::vector<BackboneLink> links_;
+  // next_hop_[from][to] = link index of the first hop, or -1.
+  std::array<std::array<int, kRegionCount>, kRegionCount> next_hop_{};
+};
+
+}  // namespace rv::world

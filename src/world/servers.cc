@@ -1,0 +1,39 @@
+#include "world/servers.h"
+
+namespace rv::world {
+
+const std::vector<ServerSite>& server_sites() {
+  using media::SiteProfile;
+  // Server access capacities reflect 2001 hosting: major U.S./U.K. sites on
+  // T3-class links, smaller national sites narrower; load ranges set how
+  // often the "bottleneck moves to the server" (§V.A of the paper). The
+  // site order groups Fig 10's labels by site id.
+  static const std::vector<ServerSite> kSites = {
+      {"US/ABC", "US", Region::kUsEast, ServerRegionGroup::kUsCanada,
+       SiteProfile::kNewsBroadcaster, 0.02, mbps(45), 0.30, 0.80, 0.08},
+      {"US/CNN", "US", Region::kUsEast, ServerRegionGroup::kUsCanada,
+       SiteProfile::kNewsBroadcaster, 0.10, mbps(45), 0.45, 0.95, 0.14},
+      {"US/FOX", "US", Region::kUsWest, ServerRegionGroup::kUsCanada,
+       SiteProfile::kEntertainment, 0.07, mbps(34), 0.35, 0.85, 0.10},
+      {"CAN/CBC", "Canada", Region::kUsEast, ServerRegionGroup::kUsCanada,
+       SiteProfile::kNewsBroadcaster, 0.05, mbps(20), 0.30, 0.80, 0.09},
+      {"UK/BBC", "UK", Region::kEurope, ServerRegionGroup::kEurope,
+       SiteProfile::kNewsBroadcaster, 0.04, mbps(45), 0.30, 0.75, 0.06},
+      {"UK/ITN", "UK", Region::kEurope, ServerRegionGroup::kEurope,
+       SiteProfile::kNewsBroadcaster, 0.08, mbps(20), 0.35, 0.85, 0.12},
+      {"ITA/Kwvideo", "Italy", Region::kEurope, ServerRegionGroup::kEurope,
+       SiteProfile::kEntertainment, 0.20, mbps(10), 0.40, 0.90, 0.18},
+      {"JAP/FUJITV", "Japan", Region::kJapan, ServerRegionGroup::kAsia,
+       SiteProfile::kEntertainment, 0.05, mbps(20), 0.40, 0.90, 0.18},
+      {"CHI/CCTV", "China", Region::kAsia, ServerRegionGroup::kAsia,
+       SiteProfile::kNewsBroadcaster, 0.22, mbps(8), 0.50, 0.95, 0.26},
+      {"AUS/BBC", "Australia", Region::kAustralia,
+       ServerRegionGroup::kAustralia, SiteProfile::kNewsBroadcaster, 0.06,
+       mbps(20), 0.30, 0.75, 0.06},
+      {"BRZ/UOL", "Brazil", Region::kSouthAmerica, ServerRegionGroup::kBrazil,
+       SiteProfile::kEntertainment, 0.13, mbps(10), 0.40, 0.85, 0.14},
+  };
+  return kSites;
+}
+
+}  // namespace rv::world

@@ -1,0 +1,37 @@
+// The 11 RealServer sites of the study (Figs 3, 8, 10).
+//
+// Fig 10 names ten sites; the paper's §IV says 11 servers in 8 countries, so
+// we add a third U.S. site (labelled US/FOX) and note the substitution in
+// EXPERIMENTS.md. Unavailability rates are read off Fig 10.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "media/catalog.h"
+#include "world/types.h"
+
+namespace rv::world {
+
+struct ServerSite {
+  std::string name;       // the paper's label, e.g. "US/CNN"
+  std::string country;
+  Region region;
+  ServerRegionGroup group;
+  media::SiteProfile profile;
+  double unavailability;  // per-access clip-unavailable probability (Fig 10)
+  BitsPerSec access_rate; // server access capacity
+  // Server-side load: cross traffic on the access link, as a fraction of its
+  // capacity, sampled uniformly per play.
+  double load_lo;
+  double load_hi;
+  // Probability that the server is overloaded for the whole play (its access
+  // segment saturates) — the paper's "bottleneck moving closer to the
+  // server" for broadband users.
+  double overload_probability;
+};
+
+// All 11 sites, index == site id used by the catalog.
+const std::vector<ServerSite>& server_sites();
+
+}  // namespace rv::world

@@ -1,0 +1,69 @@
+#include "world/types.h"
+
+namespace rv::world {
+
+std::string_view region_name(Region r) {
+  switch (r) {
+    case Region::kUsEast:
+      return "us-east";
+    case Region::kUsWest:
+      return "us-west";
+    case Region::kEurope:
+      return "europe";
+    case Region::kAsia:
+      return "asia";
+    case Region::kJapan:
+      return "japan";
+    case Region::kAustralia:
+      return "australia";
+    case Region::kSouthAmerica:
+      return "s-america";
+    case Region::kMiddleEast:
+      return "middle-east";
+  }
+  return "?";
+}
+
+std::string_view server_region_group_name(ServerRegionGroup g) {
+  switch (g) {
+    case ServerRegionGroup::kAsia:
+      return "Asia";
+    case ServerRegionGroup::kBrazil:
+      return "Brazil";
+    case ServerRegionGroup::kUsCanada:
+      return "US/Canada";
+    case ServerRegionGroup::kAustralia:
+      return "Australia";
+    case ServerRegionGroup::kEurope:
+      return "Europe";
+  }
+  return "?";
+}
+
+std::string_view user_region_group_name(UserRegionGroup g) {
+  switch (g) {
+    case UserRegionGroup::kAustraliaNz:
+      return "Australia/NZ";
+    case UserRegionGroup::kUsCanada:
+      return "US/Canada";
+    case UserRegionGroup::kAsia:
+      return "Asia";
+    case UserRegionGroup::kEurope:
+      return "Europe";
+  }
+  return "?";
+}
+
+std::string_view connection_class_name(ConnectionClass c) {
+  switch (c) {
+    case ConnectionClass::kModem56k:
+      return "56k Modem";
+    case ConnectionClass::kDslCable:
+      return "DSL/Cable";
+    case ConnectionClass::kT1Lan:
+      return "T1/LAN";
+  }
+  return "?";
+}
+
+}  // namespace rv::world

@@ -1,0 +1,214 @@
+#include "world/users.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "client/pc_class.h"
+#include "util/check.h"
+
+namespace rv::world {
+namespace {
+
+struct CountrySpec {
+  const char* name;
+  int users;
+  double mean_plays;  // tuned so country totals approximate Fig 7
+  Region region;
+  UserRegionGroup group;
+  // Connection-class mix: modem / dsl-cable / t1-lan.
+  double modem;
+  double dsl;
+  double t1;
+  double isp_lo;
+  double isp_hi;
+};
+
+// Country rows reproduce Fig 7's played-clip totals (users × mean plays):
+// US 2100, China 142, Germany 131, France 115, Australia 98, Canada 84,
+// UK 59, UAE 55, Romania 47, NZ 32, India 16, Egypt 8 — and the user mixes
+// encode the paper's user-side regional findings (Fig 15): Australia/NZ
+// worst (modem-dominated, congested ISPs), Europe best.
+const CountrySpec kCountries[] = {
+    {"US", 41, 59.4, Region::kUsEast, UserRegionGroup::kUsCanada, 0.28, 0.36,
+     0.36, 0.25, 0.70},
+    {"China", 3, 54.9, Region::kAsia, UserRegionGroup::kAsia, 0.35, 0.05,
+     0.60, 0.60, 0.95},
+    {"Germany", 3, 50.7, Region::kEurope, UserRegionGroup::kEurope, 0.30,
+     0.35, 0.35, 0.30, 0.70},
+    {"France", 3, 44.4, Region::kEurope, UserRegionGroup::kEurope, 0.30,
+     0.35, 0.35, 0.30, 0.70},
+    {"Australia", 3, 37.9, Region::kAustralia, UserRegionGroup::kAustraliaNz,
+     0.85, 0.05, 0.10, 0.50, 0.92},
+    {"Canada", 2, 48.7, Region::kUsEast, UserRegionGroup::kUsCanada, 0.30,
+     0.35, 0.35, 0.25, 0.70},
+    {"UK", 2, 34.2, Region::kEurope, UserRegionGroup::kEurope, 0.30, 0.35,
+     0.35, 0.30, 0.70},
+    {"UAE", 2, 31.9, Region::kMiddleEast, UserRegionGroup::kAsia, 0.50, 0.00,
+     0.50, 0.55, 0.95},
+    {"Romania", 1, 54.5, Region::kEurope, UserRegionGroup::kEurope, 0.50,
+     0.00, 0.50, 0.45, 0.85},
+    {"New Zealand", 1, 37.1, Region::kAustralia,
+     UserRegionGroup::kAustraliaNz, 1.00, 0.00, 0.00, 0.55, 0.95},
+    {"India", 1, 18.6, Region::kAsia, UserRegionGroup::kAsia, 0.70, 0.00,
+     0.30, 0.60, 0.95},
+    {"Egypt", 1, 9.3, Region::kMiddleEast, UserRegionGroup::kAsia, 1.00,
+     0.00, 0.00, 0.60, 0.95},
+};
+
+// U.S. users per state (Fig 9; Massachusetts dominates, near the authors).
+struct StateQuota {
+  const char* state;
+  int users;
+};
+const StateQuota kUsStates[] = {
+    {"MA", 18}, {"FL", 3}, {"NC", 2}, {"MN", 2}, {"MD", 2}, {"WI", 2},
+    {"CA", 2},  {"DE", 1}, {"TX", 1}, {"IL", 1}, {"CO", 1}, {"NH", 1},
+    {"CT", 1},  {"TN", 1}, {"ME", 1}, {"WA", 1}, {"VA", 1},
+};
+
+// Fig 19's PC classes with a plausible 2001 installed-base mix.
+struct PcMix {
+  const char* name;
+  double weight;
+};
+const PcMix kPcMix[] = {
+    {"Intel Pentium MMX / 24MB", 0.07}, {"Pentium II / 32MB", 0.12},
+    {"Intel Celeron / 64-96MB", 0.16},  {"Pentium II / 128-256", 0.30},
+    {"AMD / 320-512MB", 0.10},          {"Pentium III / 256-512MB", 0.25},
+};
+
+ConnectionClass pick_connection(util::Rng& rng, const CountrySpec& spec) {
+  const double w[] = {spec.modem, spec.dsl, spec.t1};
+  switch (rng.weighted_index(w)) {
+    case 0:
+      return ConnectionClass::kModem56k;
+    case 1:
+      return ConnectionClass::kDslCable;
+    default:
+      return ConnectionClass::kT1Lan;
+  }
+}
+
+std::string pick_pc(util::Rng& rng) {
+  std::vector<double> weights;
+  for (const auto& m : kPcMix) weights.push_back(m.weight);
+  return kPcMix[rng.weighted_index(weights)].name;
+}
+
+int pick_plays(util::Rng& rng, double mean) {
+  const double draw = rng.normal(mean, mean * 0.45);
+  return static_cast<int>(std::clamp(std::round(draw), 3.0, 98.0));
+}
+
+int pick_rated(util::Rng& rng, int plays) {
+  // Fig 6: some users rated nothing, half rated ~3, a few rated 30+.
+  const double r = rng.uniform();
+  int rated = 0;
+  if (r < 0.20) {
+    rated = 0;
+  } else if (r < 0.65) {
+    rated = static_cast<int>(rng.uniform_int(3, 5));
+  } else if (r < 0.90) {
+    rated = static_cast<int>(rng.uniform_int(6, 12));
+  } else {
+    rated = static_cast<int>(rng.uniform_int(15, 35));
+  }
+  return std::min(rated, plays);
+}
+
+}  // namespace
+
+std::vector<UserProfile> generate_population(const PopulationConfig& config) {
+  util::Rng rng(config.seed ^ 0xB0B5ull);
+  std::vector<UserProfile> users;
+  int id = 0;
+  for (const auto& country : kCountries) {
+    int state_cursor = 0;
+    int state_used = 0;
+    for (int i = 0; i < country.users; ++i) {
+      util::Rng user_rng = rng.fork(static_cast<std::uint64_t>(id) * 31 + 7);
+      UserProfile u;
+      u.id = id++;
+      u.country = country.name;
+      u.region = country.region;
+      u.group = country.group;
+      if (std::string_view(country.name) == "US") {
+        // Walk the state quota table.
+        while (state_used >=
+               kUsStates[static_cast<std::size_t>(state_cursor)].users) {
+          ++state_cursor;
+          state_used = 0;
+        }
+        u.us_state = kUsStates[static_cast<std::size_t>(state_cursor)].state;
+        ++state_used;
+        if (u.us_state == "CA" || u.us_state == "WA") {
+          u.region = Region::kUsWest;
+        }
+      }
+      u.connection = pick_connection(user_rng, country);
+      u.pc_class = pick_pc(user_rng);
+      double blocked_p = config.udp_blocked_dsl;
+      if (u.connection == ConnectionClass::kT1Lan) {
+        blocked_p = config.udp_blocked_t1;
+      } else if (u.connection == ConnectionClass::kModem56k) {
+        blocked_p = config.udp_blocked_modem;
+      }
+      u.udp_blocked = user_rng.bernoulli(blocked_p);
+      u.rtsp_blocked = user_rng.bernoulli(config.rtsp_blocked_rate);
+      u.clips_to_play = pick_plays(user_rng, country.mean_plays);
+      u.clips_to_rate = pick_rated(user_rng, u.clips_to_play);
+      u.isp_load_lo = country.isp_lo;
+      u.isp_load_hi = country.isp_hi;
+      u.seed = user_rng.next_u64();
+      users.push_back(std::move(u));
+    }
+  }
+  RV_CHECK_EQ(users.size(), 63u);
+  return users;
+}
+
+AccessSpec access_spec_for(ConnectionClass c, util::Rng& rng) {
+  AccessSpec spec;
+  switch (c) {
+    case ConnectionClass::kModem56k:
+      // V.90 sync rates vary by line quality; modems add real latency and
+      // ISPs gave them deep (bloated) buffers.
+      spec.rate = kbps(rng.uniform(21.6, 42.0));
+      spec.delay = msec(55);
+      spec.queue_bytes = 10 * 1024;
+      // ISP modem banks were heavily oversubscribed; the effective share of
+      // the nominal sync rate varied a lot.
+      spec.cross_load_lo = 0.60;
+      spec.cross_load_hi = 1.02;
+      break;
+    case ConnectionClass::kDslCable:
+      spec.rate = kbps(rng.uniform(256.0, 512.0));
+      spec.delay = msec(8);
+      spec.queue_bytes = 24 * 1024;
+      break;
+    case ConnectionClass::kT1Lan:
+      spec.rate = mbps(rng.uniform(1.5, 10.0));
+      spec.delay = msec(2);
+      spec.queue_bytes = 32 * 1024;
+      // Corporate uplinks are shared with coworkers (the paper's
+      // explanation for T1 jitter exceeding DSL's).
+      spec.cross_load_lo = 0.20;
+      spec.cross_load_hi = 0.65;
+      break;
+  }
+  return spec;
+}
+
+BitsPerSec reported_bandwidth_for(ConnectionClass c) {
+  switch (c) {
+    case ConnectionClass::kModem56k:
+      return kbps(56);
+    case ConnectionClass::kDslCable:
+      return kbps(450);
+    case ConnectionClass::kT1Lan:
+      return kbps(600);
+  }
+  return kbps(450);
+}
+
+}  // namespace rv::world

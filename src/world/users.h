@@ -1,0 +1,57 @@
+// The study's user population: 63 volunteers in 12 countries (paper §IV,
+// Figs 4, 7, 9), with per-user connection class, PC class, firewall status
+// and playlist behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "world/types.h"
+
+namespace rv::world {
+
+struct UserProfile {
+  int id = 0;
+  std::string country;
+  std::string us_state;  // empty for non-U.S. users
+  Region region = Region::kUsEast;       // backbone attach point
+  UserRegionGroup group = UserRegionGroup::kUsCanada;
+  ConnectionClass connection = ConnectionClass::kDslCable;
+  std::string pc_class;                  // Fig 19 label
+  bool udp_blocked = false;              // NAT/firewall eats inbound UDP
+  bool rtsp_blocked = false;             // firewall blocks RTSP entirely
+  int clips_to_play = 0;                 // playlist prefix this user plays
+  int clips_to_rate = 0;
+  // User-side ISP congestion (background load on the ISP uplink).
+  double isp_load_lo = 0.3;
+  double isp_load_hi = 0.7;
+  std::uint64_t seed = 0;                // per-user deterministic stream
+};
+
+struct PopulationConfig {
+  std::uint64_t seed = 2001;
+  // Probability that a user's environment silently blocks inbound UDP,
+  // by connection class (corporate networks were the worst offenders).
+  double udp_blocked_t1 = 0.45;
+  double udp_blocked_dsl = 0.18;
+  double udp_blocked_modem = 0.10;
+  // Fraction of would-be participants whose firewall blocks RTSP outright;
+  // the paper gathered and then *excluded* them (§IV). They still appear in
+  // the population with rtsp_blocked set.
+  double rtsp_blocked_rate = 0.05;
+};
+
+// Generates the 63-user population (plus any rtsp-blocked extras),
+// deterministically from the config seed. Country/state quotas follow
+// Figs 7 and 9.
+std::vector<UserProfile> generate_population(const PopulationConfig& config);
+
+// Per-user access link parameters (modem sync rates vary per user).
+AccessSpec access_spec_for(ConnectionClass c, util::Rng& rng);
+
+// The RealPlayer "connection speed" setting a user of this class picks.
+BitsPerSec reported_bandwidth_for(ConnectionClass c);
+
+}  // namespace rv::world

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "rtsp/http.h"
+
+namespace rv::rtsp {
+namespace {
+
+TEST(Http, RequestRoundTrip) {
+  HttpRequest req;
+  req.path = "/clip/203.ram";
+  req.headers.set("User-Agent", "RealTracer/1.0");
+  const auto parsed = parse_http_request(req.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->path, "/clip/203.ram");
+  EXPECT_EQ(parsed->headers.get("user-agent"), "RealTracer/1.0");
+}
+
+TEST(Http, ResponseRoundTrip) {
+  HttpResponse resp;
+  resp.status = 200;
+  resp.headers.set("Content-Type", "audio/x-pn-realaudio");
+  resp.body = "# RAM metafile\nrtsp://server/clip/203\n";
+  const auto parsed = parse_http_response(resp.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->ok());
+  EXPECT_EQ(parsed->body, resp.body);
+}
+
+TEST(Http, NotFoundResponse) {
+  HttpResponse resp;
+  resp.status = 404;
+  const auto parsed = parse_http_response(resp.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->ok());
+  EXPECT_EQ(parsed->status, 404);
+}
+
+TEST(Http, RejectsMalformed) {
+  EXPECT_FALSE(parse_http_request("").has_value());
+  EXPECT_FALSE(parse_http_request("POST /x HTTP/1.0\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_request("GET /x RTSP/1.0\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_response("HTTP/1.0 banana\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_response("nope").has_value());
+}
+
+TEST(Http, RamMetafileRoundTrip) {
+  const std::string body = make_ram_metafile("rtsp://server/clip/7");
+  EXPECT_EQ(parse_ram_metafile(body), "rtsp://server/clip/7");
+}
+
+TEST(Http, RamMetafileIgnoresCommentsAndJunk) {
+  EXPECT_EQ(parse_ram_metafile("# only a comment\n"), "");
+  EXPECT_EQ(parse_ram_metafile(""), "");
+  EXPECT_EQ(parse_ram_metafile("junk\nrtsp://a/clip/1\nrtsp://b/clip/2\n"),
+            "rtsp://a/clip/1");
+}
+
+}  // namespace
+}  // namespace rv::rtsp

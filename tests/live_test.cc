@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "media/codec.h"
+#include "server/stream_sender.h"
+#include "sim/simulator.h"
+#include "study/study.h"
+#include "tracer/real_tracer.h"
+#include "util/rng.h"
+#include "world/region_graph.h"
+
+namespace rv {
+namespace {
+
+// Fake channel recording (send time, pts) pairs.
+class EdgeChannel : public server::MediaChannel {
+ public:
+  explicit EdgeChannel(sim::Simulator& sim) : sim_(sim) {}
+  void send_media(std::shared_ptr<const media::MediaPacketMeta> meta,
+                  std::int32_t) override {
+    if (meta->kind == media::MediaKind::kVideo) {
+      max_ahead = std::max(max_ahead, meta->pts - sim_.now());
+    }
+    ++count;
+  }
+  std::int64_t backlog_bytes() const override { return 0; }
+  bool reliable() const override { return false; }
+
+  sim::Simulator& sim_;
+  SimTime max_ahead = std::numeric_limits<SimTime>::min();
+  int count = 0;
+};
+
+media::Clip live_clip() {
+  const auto& targets = media::target_audiences();
+  std::vector<media::EncodingLevel> levels = {
+      make_level(targets[1], media::AudioContent::kVoice),
+      make_level(targets[4], media::AudioContent::kVoice),
+  };
+  return media::Clip(9, "live-test", media::ClipKind::kSports, sec(60),
+                     std::move(levels), 5);
+}
+
+TEST(Live, SenderNeverRunsAheadOfLiveEdge) {
+  sim::Simulator sim;
+  const auto clip = live_clip();
+  EdgeChannel channel(sim);
+  server::StreamSenderConfig cfg;
+  cfg.live = true;
+  server::StreamSender sender(sim, clip, 1, channel, nullptr, cfg,
+                              util::Rng(1));
+  sender.start();
+  sim.run_until(sec(30));
+  sender.stop();
+  EXPECT_GT(channel.count, 50);
+  // pts never exceeds "now" (modulo the encoder delay allowance).
+  EXPECT_LE(channel.max_ahead, 0);
+}
+
+TEST(Live, PrerecordedRunsAheadDuringPreroll) {
+  sim::Simulator sim;
+  const auto clip = live_clip();
+  EdgeChannel channel(sim);
+  server::StreamSenderConfig cfg;  // live = false
+  server::StreamSender sender(sim, clip, 1, channel, nullptr, cfg,
+                              util::Rng(1));
+  sender.start();
+  sim.run_until(sec(10));
+  sender.stop();
+  // The preroll burst pushes media well ahead of real time.
+  EXPECT_GT(channel.max_ahead, sec(1));
+}
+
+TEST(Live, EndToEndLiveSessionPlays) {
+  study::StudyConfig study_cfg;
+  const media::Catalog catalog = study::make_catalog(study_cfg);
+  const world::RegionGraph graph;
+  tracer::TracerConfig cfg;
+  cfg.live_content = true;
+  cfg.path.episode_probability = 0.0;
+  const tracer::RealTracer tracer(catalog, graph, cfg);
+
+  world::UserProfile user;
+  user.country = "US";
+  user.us_state = "MA";
+  user.region = world::Region::kUsEast;
+  user.group = world::UserRegionGroup::kUsCanada;
+  user.connection = world::ConnectionClass::kDslCable;
+  user.pc_class = "Pentium III / 256-512MB";
+  user.isp_load_lo = 0.2;
+  user.isp_load_hi = 0.4;
+  user.seed = 31;
+
+  const auto rec = tracer.run_single(user, 0, 1001);
+  ASSERT_TRUE(rec.stats.played_any_frame);
+  EXPECT_GT(rec.stats.measured_fps, 3.0);
+  // Live start-up delay is roughly the pre-roll target: the buffer can only
+  // fill in real time.
+  EXPECT_GT(rec.stats.preroll_seconds, cfg.preroll_media_seconds * 0.8);
+}
+
+TEST(Live, LiveHasLongerStartupThanPrerecorded) {
+  study::StudyConfig study_cfg;
+  const media::Catalog catalog = study::make_catalog(study_cfg);
+  const world::RegionGraph graph;
+
+  world::UserProfile user;
+  user.country = "US";
+  user.us_state = "MA";
+  user.region = world::Region::kUsEast;
+  user.group = world::UserRegionGroup::kUsCanada;
+  user.connection = world::ConnectionClass::kDslCable;
+  user.pc_class = "Pentium III / 256-512MB";
+  user.isp_load_lo = 0.2;
+  user.isp_load_hi = 0.4;
+  user.seed = 32;
+
+  tracer::TracerConfig live_cfg;
+  live_cfg.live_content = true;
+  live_cfg.path.episode_probability = 0.0;
+  tracer::TracerConfig vod_cfg;
+  vod_cfg.path.episode_probability = 0.0;
+  const auto live_rec =
+      tracer::RealTracer(catalog, graph, live_cfg).run_single(user, 0, 77);
+  const auto vod_rec =
+      tracer::RealTracer(catalog, graph, vod_cfg).run_single(user, 0, 77);
+  ASSERT_TRUE(live_rec.stats.played_any_frame);
+  ASSERT_TRUE(vod_rec.stats.played_any_frame);
+  // Pre-recorded content bursts the buffer full faster than real time.
+  EXPECT_LT(vod_rec.stats.preroll_seconds,
+            live_rec.stats.preroll_seconds);
+}
+
+}  // namespace
+}  // namespace rv

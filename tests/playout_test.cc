@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "client/playout.h"
+#include "sim/simulator.h"
+
+namespace rv::client {
+namespace {
+
+media::FrameAssembler::CompleteFrame frame_at(SimTime pts, int index,
+                                              std::int32_t bytes = 800,
+                                              bool keyframe = false) {
+  media::FrameAssembler::CompleteFrame f;
+  f.frame_index = index;
+  f.pts = pts;
+  f.bytes = bytes;
+  f.keyframe = keyframe;
+  f.level = 0;
+  return f;
+}
+
+PlayoutConfig fast_pc_config() {
+  PlayoutConfig cfg;
+  cfg.preroll_target_sec = 2.0;
+  cfg.rebuffer_target_sec = 1.0;
+  cfg.pc = pc_class_by_name("Pentium III / 256-512MB");
+  return cfg;
+}
+
+// Feeds frames at a steady rate with a given network delay.
+void feed_frames(sim::Simulator& sim, PlayoutEngine& engine, int count,
+                 SimTime interval, SimTime delivery_delay) {
+  for (int i = 0; i < count; ++i) {
+    const SimTime pts = i * interval;
+    sim.schedule_at(pts + delivery_delay, [&engine, pts, i] {
+      engine.on_frame(frame_at(pts, i));
+    });
+  }
+}
+
+TEST(Playout, PrerollThenSteadyPlayback) {
+  sim::Simulator sim;
+  PlayoutEngine engine(sim, fast_pc_config());
+  engine.start();
+  // 10 fps frames arriving in real time, then end of stream.
+  feed_frames(sim, engine, 100, msec(100), msec(50));
+  sim.schedule_at(sec(10) + msec(100), [&engine] {
+    engine.on_end_of_stream();
+  });
+  sim.run_until(sec(15));
+  engine.stop();
+  const auto& r = engine.result();
+  EXPECT_TRUE(r.played_any);
+  EXPECT_GT(r.frames_played, 80);
+  EXPECT_NEAR(r.measured_fps, 10.0, 1.5);
+  EXPECT_EQ(r.rebuffer_events, 0);
+  EXPECT_LT(r.jitter_ms, 30.0);
+  EXPECT_GE(r.preroll_seconds, 1.5);  // waited for the pre-roll target
+}
+
+TEST(Playout, PrerollTimeoutStartsWithWhatArrived) {
+  sim::Simulator sim;
+  PlayoutConfig cfg = fast_pc_config();
+  cfg.preroll_target_sec = 30.0;  // never reached
+  cfg.preroll_timeout = sec(5);
+  PlayoutEngine engine(sim, cfg);
+  engine.start();
+  feed_frames(sim, engine, 30, msec(100), msec(20));
+  sim.run_until(sec(12));
+  engine.stop();
+  EXPECT_TRUE(engine.result().played_any);
+  EXPECT_NEAR(engine.result().preroll_seconds, 5.0, 0.5);
+}
+
+TEST(Playout, StallWhenFeedStopsThenRebuffer) {
+  sim::Simulator sim;
+  PlayoutEngine engine(sim, fast_pc_config());
+  engine.start();
+  // 4 seconds of media arrive quickly, then nothing until t=12s.
+  for (int i = 0; i < 40; ++i) {
+    sim.schedule_at(msec(10 * i),
+                    [&engine, i] { engine.on_frame(frame_at(i * msec(100), i)); });
+  }
+  for (int i = 40; i < 80; ++i) {
+    sim.schedule_at(sec(12) + msec(10 * (i - 40)), [&engine, i] {
+      engine.on_frame(frame_at(i * msec(100), i));
+    });
+  }
+  sim.run_until(sec(25));
+  engine.stop();
+  const auto& r = engine.result();
+  EXPECT_TRUE(r.played_any);
+  EXPECT_GE(r.rebuffer_events, 1);
+  EXPECT_GT(r.rebuffer_seconds, 2.0);
+  // The long stall shows up as jitter (a multi-second inter-frame gap).
+  EXPECT_GT(r.jitter_ms, 300.0);
+}
+
+TEST(Playout, LateFrameCountsDropped) {
+  sim::Simulator sim;
+  PlayoutEngine engine(sim, fast_pc_config());
+  engine.start();
+  feed_frames(sim, engine, 50, msec(100), msec(20));
+  // One frame arrives 6 seconds late: its slot has passed.
+  sim.schedule_at(sec(9), [&engine] {
+    engine.on_frame(frame_at(msec(2500), 25));
+  });
+  sim.run_until(sec(12));
+  engine.stop();
+  EXPECT_GE(engine.result().frames_dropped, 1);
+}
+
+TEST(Playout, SlowDecoderScalesFrameRate) {
+  sim::Simulator sim;
+  PlayoutConfig cfg = fast_pc_config();
+  cfg.pc = pc_class_by_name("Intel Pentium MMX / 24MB");
+  PlayoutEngine engine(sim, cfg);
+  engine.start();
+  feed_frames(sim, engine, 150, msec(67), msec(20));  // 15 fps input
+  sim.run_until(sec(15));
+  engine.stop();
+  const auto& r = engine.result();
+  EXPECT_TRUE(r.played_any);
+  EXPECT_LT(r.measured_fps, 4.5);  // slideshow (Fig 19)
+  EXPECT_GT(r.frames_cpu_scaled, 50);
+  EXPECT_GT(r.cpu_utilization, 0.4);
+}
+
+TEST(Playout, EndOfStreamFinishesWhenDrained) {
+  sim::Simulator sim;
+  PlayoutEngine engine(sim, fast_pc_config());
+  bool done = false;
+  engine.set_on_done([&] { done = true; });
+  engine.start();
+  feed_frames(sim, engine, 30, msec(100), msec(20));
+  sim.schedule_at(sec(4), [&engine] { engine.on_end_of_stream(); });
+  sim.run_until(sec(20));
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(engine.done());
+  EXPECT_EQ(engine.result().frames_played, 30);
+}
+
+TEST(Playout, EosWithNothingBufferedEndsImmediately) {
+  sim::Simulator sim;
+  PlayoutEngine engine(sim, fast_pc_config());
+  engine.start();
+  sim.schedule_at(sec(1), [&engine] { engine.on_end_of_stream(); });
+  sim.run_until(sec(5));
+  EXPECT_TRUE(engine.done());
+  EXPECT_FALSE(engine.result().played_any);
+}
+
+TEST(Playout, StopBeforeAnythingArrives) {
+  sim::Simulator sim;
+  PlayoutEngine engine(sim, fast_pc_config());
+  engine.start();
+  sim.run_until(sec(3));
+  engine.stop();
+  const auto& r = engine.result();
+  EXPECT_FALSE(r.played_any);
+  EXPECT_EQ(r.frames_played, 0);
+  EXPECT_NEAR(r.preroll_seconds, 3.0, 0.2);
+}
+
+TEST(Playout, HostNoiseRaisesJitterOnly) {
+  auto run_with_noise = [](double noise_ms) {
+    sim::Simulator sim;
+    PlayoutConfig cfg;
+    cfg.preroll_target_sec = 2.0;
+    cfg.pc = pc_class_by_name("Pentium III / 256-512MB");
+    cfg.host_timing_noise_ms = noise_ms;
+    cfg.noise_seed = 9;
+    PlayoutEngine engine(sim, cfg);
+    engine.start();
+    feed_frames(sim, engine, 100, msec(100), msec(20));
+    sim.run_until(sec(14));
+    engine.stop();
+    return engine.result();
+  };
+  const auto quiet = run_with_noise(0.0);
+  const auto noisy = run_with_noise(60.0);
+  EXPECT_GT(noisy.jitter_ms, quiet.jitter_ms + 30.0);
+  // Throughput unaffected: same frames played.
+  EXPECT_EQ(noisy.frames_played, quiet.frames_played);
+}
+
+TEST(Playout, JitterIsStddevOfGaps) {
+  // Perfectly regular playout ⇒ jitter near zero.
+  sim::Simulator sim;
+  PlayoutConfig cfg = fast_pc_config();
+  cfg.pc.per_frame_cost = 0;  // remove decode wobble
+  cfg.pc.per_byte_cost_usec = 0.0;
+  PlayoutEngine engine(sim, cfg);
+  engine.start();
+  feed_frames(sim, engine, 80, msec(100), msec(10));
+  sim.run_until(sec(12));
+  engine.stop();
+  EXPECT_LT(engine.result().jitter_ms, 2.0);
+}
+
+// Property: across random arrival patterns the engine never plays a frame
+// twice, never exceeds the fed frame count, and always terminates.
+class PlayoutPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlayoutPropertyTest, RobustToRandomArrivals) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  sim::Simulator sim;
+  PlayoutEngine engine(sim, fast_pc_config());
+  engine.start();
+  const int n = 60;
+  int fed = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.2)) continue;  // frame lost in the network
+    ++fed;
+    const SimTime pts = i * msec(100);
+    const SimTime arrival =
+        pts + msec(rng.uniform_int(5, 4000));  // wildly variable delay
+    sim.schedule_at(arrival, [&engine, pts, i] {
+      engine.on_frame(frame_at(pts, i));
+    });
+  }
+  sim.schedule_at(sec(14), [&engine] { engine.on_end_of_stream(); });
+  sim.run_until(sec(30));
+  engine.stop();
+  const auto& r = engine.result();
+  EXPECT_LE(r.frames_played + r.frames_cpu_scaled + r.frames_dropped,
+            static_cast<std::int64_t>(n));
+  EXPECT_GE(r.frames_played, 0);
+  EXPECT_GE(r.rebuffer_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomArrivals, PlayoutPropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace rv::client

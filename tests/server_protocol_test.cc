@@ -1,0 +1,251 @@
+// Protocol-level tests: a hand-rolled client speaks raw RTSP/HTTP to
+// RealServerApp over the simulated network and checks the exact responses.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+
+#include "media/catalog.h"
+#include "media/stream_wire.h"
+#include "net/network.h"
+#include "rtsp/http.h"
+#include "rtsp/message.h"
+#include "server/real_server.h"
+#include "sim/simulator.h"
+#include "transport/tcp.h"
+#include "util/rng.h"
+
+namespace rv {
+namespace {
+
+media::Catalog tiny_catalog() {
+  media::CatalogSpec spec;
+  spec.clips_per_site = 4;
+  spec.playlist_size = 4;
+  return media::Catalog(spec, {media::SiteProfile::kNewsBroadcaster});
+}
+
+// Raw TCP client that sends pre-serialized text chunks and records every
+// text chunk that comes back.
+struct RawClient {
+  sim::Simulator sim;
+  std::unique_ptr<net::Network> net_;
+  net::NodeId client_node = 0;
+  net::NodeId server_node = 0;
+  media::Catalog catalog = tiny_catalog();
+  std::unique_ptr<server::RealServerApp> server;
+  std::unique_ptr<transport::TransportMux> mux;
+  std::unique_ptr<transport::TcpConnection> conn;
+  std::deque<std::string> replies;
+
+  RawClient() {
+    net_ = std::make_unique<net::Network>(sim);
+    client_node = net_->add_node("client");
+    server_node = net_->add_node("server");
+    net_->add_link(client_node, server_node, mbps(10), msec(5));
+    net_->compute_routes();
+    server = std::make_unique<server::RealServerApp>(
+        *net_, server_node, catalog, server::RealServerConfig{},
+        util::Rng(3));
+    mux = std::make_unique<transport::TransportMux>(*net_, client_node);
+  }
+
+  void connect(net::Port port) {
+    conn = std::make_unique<transport::TcpConnection>(*mux,
+                                                      transport::TcpConfig{});
+    conn->set_on_chunk([this](std::shared_ptr<const net::PayloadMeta> meta,
+                              std::int64_t) {
+      if (const auto* text =
+              dynamic_cast<const media::RtspTextMeta*>(meta.get())) {
+        replies.push_back(text->text);
+      }
+    });
+    conn->connect({server_node, port});
+    sim.run_until(sim.now() + sec(2));
+  }
+
+  void send_text(const std::string& wire) {
+    conn->send_chunk(static_cast<std::int64_t>(wire.size()),
+                     std::make_shared<media::RtspTextMeta>(wire));
+    sim.run_until(sim.now() + sec(2));
+  }
+
+  rtsp::Response send_rtsp(rtsp::Request req) {
+    static int cseq = 0;
+    req.cseq = ++cseq;
+    const std::size_t before = replies.size();
+    send_text(req.serialize());
+    EXPECT_GT(replies.size(), before) << "no response to "
+                                      << rtsp::method_name(req.method);
+    if (replies.size() <= before) return {};
+    const auto resp = rtsp::parse_response(replies.back());
+    EXPECT_TRUE(resp.has_value());
+    return resp.value_or(rtsp::Response{});
+  }
+};
+
+rtsp::Request make_request(rtsp::Method method, std::uint32_t clip_id) {
+  rtsp::Request req;
+  req.method = method;
+  req.url = server::RealServerApp::clip_url(clip_id);
+  return req;
+}
+
+TEST(ServerProtocol, OptionsListsMethods) {
+  RawClient client;
+  client.connect(net::kRtspPort);
+  const auto resp = client.send_rtsp(make_request(rtsp::Method::kOptions, 0));
+  EXPECT_TRUE(resp.ok());
+  const auto methods = resp.headers.get("Public");
+  ASSERT_TRUE(methods.has_value());
+  EXPECT_NE(methods->find("DESCRIBE"), std::string::npos);
+  EXPECT_NE(methods->find("TEARDOWN"), std::string::npos);
+}
+
+TEST(ServerProtocol, DescribeReturnsClipDescription) {
+  RawClient client;
+  client.connect(net::kRtspPort);
+  const std::uint32_t clip_id = client.catalog.clip(1).id();
+  const auto resp =
+      client.send_rtsp(make_request(rtsp::Method::kDescribe, clip_id));
+  EXPECT_TRUE(resp.ok());
+  EXPECT_NE(resp.body.find("duration="), std::string::npos);
+  EXPECT_NE(resp.body.find("levels="), std::string::npos);
+}
+
+TEST(ServerProtocol, DescribeUnknownClipIs404) {
+  RawClient client;
+  client.connect(net::kRtspPort);
+  const auto resp =
+      client.send_rtsp(make_request(rtsp::Method::kDescribe, 99999));
+  EXPECT_EQ(resp.status, rtsp::StatusCode::kNotFound);
+}
+
+TEST(ServerProtocol, DescribeUnavailableClipIs404) {
+  RawClient client;
+  const std::uint32_t clip_id = client.catalog.clip(0).id();
+  client.server->set_unavailable({clip_id});
+  client.connect(net::kRtspPort);
+  const auto resp =
+      client.send_rtsp(make_request(rtsp::Method::kDescribe, clip_id));
+  EXPECT_EQ(resp.status, rtsp::StatusCode::kNotFound);
+}
+
+TEST(ServerProtocol, SetupBeforeDescribeIsBadRequest) {
+  RawClient client;
+  client.connect(net::kRtspPort);
+  auto req = make_request(rtsp::Method::kSetup, client.catalog.clip(0).id());
+  req.headers.set("Transport", "x-real-rdt/tcp");
+  const auto resp = client.send_rtsp(req);
+  EXPECT_EQ(resp.status, rtsp::StatusCode::kBadRequest);
+}
+
+TEST(ServerProtocol, PlayBeforeSetupIsBadRequest) {
+  RawClient client;
+  client.connect(net::kRtspPort);
+  client.send_rtsp(
+      make_request(rtsp::Method::kDescribe, client.catalog.clip(0).id()));
+  const auto resp = client.send_rtsp(
+      make_request(rtsp::Method::kPlay, client.catalog.clip(0).id()));
+  EXPECT_EQ(resp.status, rtsp::StatusCode::kBadRequest);
+}
+
+TEST(ServerProtocol, UnsupportedTransportRejected) {
+  RawClient client;
+  client.connect(net::kRtspPort);
+  const std::uint32_t clip_id = client.catalog.clip(0).id();
+  client.send_rtsp(make_request(rtsp::Method::kDescribe, clip_id));
+  auto req = make_request(rtsp::Method::kSetup, clip_id);
+  req.headers.set("Transport", "RTP/AVP;client_port=88");
+  const auto resp = client.send_rtsp(req);
+  EXPECT_EQ(resp.status, rtsp::StatusCode::kUnsupportedTransport);
+}
+
+TEST(ServerProtocol, FullTcpSessionStreamsMedia) {
+  RawClient client;
+  client.connect(net::kRtspPort);
+  const std::uint32_t clip_id = client.catalog.clip(0).id();
+  int media_packets = 0;
+  client.conn->set_on_chunk(
+      [&](std::shared_ptr<const net::PayloadMeta> meta, std::int64_t) {
+        if (const auto* text =
+                dynamic_cast<const media::RtspTextMeta*>(meta.get())) {
+          client.replies.push_back(text->text);
+        } else if (dynamic_cast<const media::MediaPacketMeta*>(meta.get()) !=
+                   nullptr) {
+          ++media_packets;
+        }
+      });
+  EXPECT_TRUE(
+      client.send_rtsp(make_request(rtsp::Method::kDescribe, clip_id)).ok());
+  auto setup = make_request(rtsp::Method::kSetup, clip_id);
+  setup.headers.set("Transport", "x-real-rdt/tcp");
+  setup.headers.set("Bandwidth", "450000");
+  const auto setup_resp = client.send_rtsp(setup);
+  EXPECT_TRUE(setup_resp.ok());
+  EXPECT_TRUE(setup_resp.headers.contains("Session"));
+  EXPECT_TRUE(client.send_rtsp(make_request(rtsp::Method::kPlay, clip_id))
+                  .ok());
+  client.sim.run_until(client.sim.now() + sec(10));
+  EXPECT_GT(media_packets, 20);
+  // PAUSE stops the flow.
+  EXPECT_TRUE(client.send_rtsp(make_request(rtsp::Method::kPause, clip_id))
+                  .ok());
+  const int frozen = media_packets;
+  client.sim.run_until(client.sim.now() + sec(5));
+  EXPECT_LE(media_packets, frozen + 2);
+  EXPECT_TRUE(
+      client.send_rtsp(make_request(rtsp::Method::kTeardown, clip_id)).ok());
+}
+
+TEST(ServerProtocol, MalformedControlMessageGetsBadRequest) {
+  RawClient client;
+  client.connect(net::kRtspPort);
+  client.send_text("THIS IS NOT RTSP\r\n\r\n");
+  ASSERT_FALSE(client.replies.empty());
+  const auto resp = rtsp::parse_response(client.replies.back());
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, rtsp::StatusCode::kBadRequest);
+}
+
+TEST(ServerProtocol, HttpMetafileFetch) {
+  RawClient client;
+  client.connect(80);
+  const std::uint32_t clip_id = client.catalog.clip(2).id();
+  rtsp::HttpRequest req;
+  req.path = server::RealServerApp::metafile_path(clip_id);
+  client.send_text(req.serialize());
+  ASSERT_FALSE(client.replies.empty());
+  const auto resp = rtsp::parse_http_response(client.replies.back());
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_TRUE(resp->ok());
+  EXPECT_EQ(rtsp::parse_ram_metafile(resp->body),
+            server::RealServerApp::clip_url(clip_id));
+}
+
+TEST(ServerProtocol, HttpUnknownMetafileIs404) {
+  RawClient client;
+  client.connect(80);
+  rtsp::HttpRequest req;
+  req.path = "/clip/424242.ram";
+  client.send_text(req.serialize());
+  ASSERT_FALSE(client.replies.empty());
+  const auto resp = rtsp::parse_http_response(client.replies.back());
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 404);
+}
+
+TEST(ServerProtocol, HttpConnectionClosesAfterResponse) {
+  RawClient client;
+  client.connect(80);
+  bool closed = false;
+  client.conn->set_on_closed([&] { closed = true; });
+  rtsp::HttpRequest req;
+  req.path = server::RealServerApp::metafile_path(client.catalog.clip(0).id());
+  client.send_text(req.serialize());
+  client.sim.run_until(client.sim.now() + sec(5));
+  EXPECT_TRUE(closed);  // HTTP/1.0 semantics
+}
+
+}  // namespace
+}  // namespace rv

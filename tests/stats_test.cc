@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/cdf.h"
+#include "stats/correlation.h"
+#include "stats/csv.h"
+#include "stats/histogram.h"
+#include "stats/render.h"
+#include "stats/summary.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace rv::stats {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, SampleVariance) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 1.0);
+}
+
+TEST(Summary, EmptyThrows) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), util::CheckError);
+  EXPECT_THROW(s.min(), util::CheckError);
+}
+
+TEST(Summary, Quantiles) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.125), 1.5);  // interpolated
+}
+
+TEST(Summary, Fractions) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 3.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_at_or_above(xs, 3.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 10.0), 1.0);
+}
+
+TEST(Cdf, EvaluatesEmpirically) {
+  const std::vector<double> xs = {1.0, 2.0, 2.0, 4.0};
+  const Cdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(3.9), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 2.25);
+  EXPECT_DOUBLE_EQ(cdf.median(), 2.0);
+}
+
+TEST(Cdf, InverseIsRightInverse) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+  const Cdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(1.0), 50.0);
+}
+
+TEST(Cdf, SampleEndpointsCoverRange) {
+  const std::vector<double> xs = {0.0, 5.0, 10.0};
+  const Cdf cdf(xs);
+  const auto pts = cdf.sample(11);
+  ASSERT_EQ(pts.size(), 11u);
+  EXPECT_DOUBLE_EQ(pts.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().x, 10.0);
+  EXPECT_DOUBLE_EQ(pts.back().f, 1.0);
+}
+
+// Property: a CDF is monotone non-decreasing and bounded by [0, 1], for any
+// random dataset.
+class CdfPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CdfPropertyTest, MonotoneAndBounded) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 1 + static_cast<int>(rng.uniform_int(0, 499));
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) xs.push_back(rng.normal(0.0, 100.0));
+  const Cdf cdf(xs);
+  double prev = 0.0;
+  for (double x = -400.0; x <= 400.0; x += 7.3) {
+    const double f = cdf.at(x);
+    EXPECT_GE(f, prev);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(cdf.at(cdf.max()), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatasets, CdfPropertyTest,
+                         ::testing::Range(0, 20));
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-3.0);  // clamped to bin 0
+  h.add(42.0);  // clamped to bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(2), 6.0);
+}
+
+TEST(CountTable, CountsAndSorts) {
+  CountTable t;
+  t.add("US", 3);
+  t.add("UK");
+  t.add("US", 2);
+  EXPECT_EQ(t.count("US"), 5u);
+  EXPECT_EQ(t.count("UK"), 1u);
+  EXPECT_EQ(t.count("FR"), 0u);
+  EXPECT_EQ(t.total(), 6u);
+  const auto sorted = t.sorted_by_count();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted.front().first, "UK");
+  EXPECT_EQ(sorted.back().first, "US");
+}
+
+TEST(Correlation, PerfectLinear) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 0.0, 1e-12);
+}
+
+TEST(Correlation, AntiCorrelated) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Correlation, IndependentNearZero) {
+  util::Rng rng(5);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20'000; ++i) {
+    xs.push_back(rng.normal());
+    ys.push_back(rng.normal());
+  }
+  EXPECT_NEAR(pearson(xs, ys), 0.0, 0.03);
+}
+
+TEST(Render, CdfPlotContainsLegendAndTitle) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {2.0, 3.0, 4.0};
+  std::vector<LabeledCdf> series;
+  series.push_back({"alpha", Cdf(a)});
+  series.push_back({"beta", Cdf(b)});
+  RenderOptions opts;
+  opts.title = "Figure X";
+  opts.x_label = "Frame Rate (fps)";
+  const std::string out = render_cdfs(series, opts);
+  EXPECT_NE(out.find("Figure X"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("Frame Rate"), std::string::npos);
+}
+
+TEST(Render, BarsShowCounts) {
+  CountTable t;
+  t.add("MA", 10);
+  t.add("CT", 2);
+  const std::string out = render_bars(t, "Clips");
+  EXPECT_NE(out.find("MA"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+}
+
+TEST(Render, ComparisonTable) {
+  const std::vector<ComparisonRow> rows = {
+      {"mean fps", "10", "10.3"},
+      {"% < 3 fps", "25%", "24.1%"},
+  };
+  const std::string out = render_comparison("Fig 11", rows);
+  EXPECT_NE(out.find("mean fps"), std::string::npos);
+  EXPECT_NE(out.find("10.3"), std::string::npos);
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRows) {
+  const std::string path = ::testing::TempDir() + "/rv_csv_test.csv";
+  {
+    CsvWriter w(path);
+    w.write_row({"x", "f"});
+    w.write_row({"1.5", "0.25"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "x,f");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "1.5,0.25");
+}
+
+}  // namespace
+}  // namespace rv::stats

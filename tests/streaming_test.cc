@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "client/real_player.h"
+#include "media/catalog.h"
+#include "media/packetizer.h"
+#include "net/cross_traffic.h"
+#include "net/network.h"
+#include "server/real_server.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace rv {
+namespace {
+
+using client::RealPlayerApp;
+using client::RealPlayerConfig;
+using server::RealServerApp;
+using server::RealServerConfig;
+
+media::Catalog make_catalog() {
+  media::CatalogSpec spec;
+  spec.clips_per_site = 6;
+  spec.playlist_size = 6;
+  return media::Catalog(spec, {media::SiteProfile::kNewsBroadcaster});
+}
+
+// One client, one server, a configurable bottleneck in between.
+struct Rig {
+  sim::Simulator sim;
+  std::unique_ptr<net::Network> net_;
+  net::NodeId client_node = 0;
+  net::NodeId server_node = 0;
+  net::NodeId isp_a = 0;
+  net::NodeId isp_b = 0;
+  media::Catalog catalog = make_catalog();
+  std::unique_ptr<RealServerApp> server;
+  std::unique_ptr<RealPlayerApp> player;
+
+  explicit Rig(BitsPerSec access_rate = kbps(500),
+               BitsPerSec backbone_rate = mbps(10),
+               SimTime backbone_delay = msec(30),
+               RealServerConfig server_cfg = {},
+               std::int64_t access_queue = 24 * 1024) {
+    net_ = std::make_unique<net::Network>(sim);
+    client_node = net_->add_node("client");
+    isp_a = net_->add_node("isp-a");
+    isp_b = net_->add_node("isp-b");
+    server_node = net_->add_node("server");
+    net_->add_link(client_node, isp_a, access_rate, msec(5), access_queue);
+    net_->add_link(isp_a, isp_b, backbone_rate, backbone_delay);
+    net_->add_link(isp_b, server_node, mbps(45), msec(2));
+    net_->compute_routes();
+    server = std::make_unique<RealServerApp>(
+        *net_, server_node, catalog, server_cfg, util::Rng(11));
+  }
+
+  const client::ClipStats& play(std::uint32_t clip_id,
+                                RealPlayerConfig cfg = {},
+                                SimTime horizon = sec(150)) {
+    player = std::make_unique<RealPlayerApp>(*net_, client_node,
+                                             net::Endpoint{server_node, 554},
+                                             clip_id, catalog, cfg);
+    player->start();
+    sim.run_until(horizon);
+    return player->stats();
+  }
+};
+
+TEST(Streaming, UdpSessionPlaysSmoothly) {
+  Rig rig;
+  RealPlayerConfig cfg;
+  cfg.reported_bandwidth = kbps(450);
+  // Clip 1 is a full SureStream ladder (20..225 Kbps) in this catalog.
+  const auto& stats = rig.play(1, cfg);
+  ASSERT_TRUE(rig.player->finished());
+  EXPECT_TRUE(stats.session_established);
+  EXPECT_TRUE(stats.played_any_frame);
+  EXPECT_EQ(stats.protocol, net::Protocol::kUdp);
+  EXPECT_FALSE(stats.fell_back_to_tcp);
+  // A 500 Kbps access link streams the mid/high levels comfortably.
+  EXPECT_GT(stats.measured_fps, 5.0);
+  EXPECT_GT(stats.measured_bandwidth, kbps(15));
+  EXPECT_EQ(stats.rebuffer_events, 0);
+  EXPECT_LT(stats.jitter_ms, 100.0);
+  // Played roughly the watch window (60 s).
+  EXPECT_GT(stats.play_seconds, 50.0);
+  EXPECT_LT(stats.play_seconds, 75.0);
+  EXPECT_GT(stats.encoded_bandwidth, 0.0);
+  EXPECT_GT(stats.encoded_fps, 0.0);
+  // Measured fps cannot exceed encoded fps by much.
+  EXPECT_LT(stats.measured_fps, stats.encoded_fps * 1.2 + 1.0);
+}
+
+TEST(Streaming, TcpSessionDeliversEverything) {
+  Rig rig;
+  RealPlayerConfig cfg;
+  cfg.prefer_udp = false;
+  const auto& stats = rig.play(1, cfg);
+  ASSERT_TRUE(rig.player->finished());
+  EXPECT_TRUE(stats.played_any_frame);
+  EXPECT_EQ(stats.protocol, net::Protocol::kTcp);
+  EXPECT_GT(stats.measured_fps, 5.0);
+  EXPECT_EQ(stats.frames_dropped, 0);  // reliable transport loses nothing
+  EXPECT_GT(stats.play_seconds, 50.0);
+}
+
+TEST(Streaming, UdpBlockedFallsBackToTcp) {
+  Rig rig;
+  RealPlayerConfig cfg;
+  cfg.udp_blocked = true;
+  const auto& stats = rig.play(2, cfg, sec(200));
+  ASSERT_TRUE(rig.player->finished());
+  EXPECT_TRUE(stats.fell_back_to_tcp);
+  EXPECT_EQ(stats.protocol, net::Protocol::kTcp);
+  EXPECT_TRUE(stats.played_any_frame);
+  EXPECT_GT(stats.measured_fps, 3.0);
+}
+
+TEST(Streaming, ModemLinkLimitsFrameRate) {
+  Rig rig(kbps(45), mbps(10), msec(30), {}, 12 * 1024);
+  RealPlayerConfig cfg;
+  cfg.reported_bandwidth = kbps(34);
+  const auto& stats = rig.play(0, cfg, sec(200));
+  ASSERT_TRUE(rig.player->finished());
+  EXPECT_TRUE(stats.played_any_frame);
+  // The modem cannot stream broadband levels: bandwidth stays modem-scale
+  // and the frame rate sits well below fluid video.
+  EXPECT_LT(stats.measured_bandwidth, kbps(60));
+  EXPECT_LT(stats.measured_fps, 13.0);
+  EXPECT_GT(stats.measured_fps, 0.5);
+}
+
+TEST(Streaming, UnavailableClipReports404) {
+  Rig rig;
+  rig.server->set_unavailable({3});
+  const auto& stats = rig.play(3);
+  ASSERT_TRUE(rig.player->finished());
+  EXPECT_TRUE(rig.player->clip_unavailable());
+  EXPECT_FALSE(stats.played_any_frame);
+  EXPECT_FALSE(stats.session_established);
+}
+
+TEST(Streaming, SlowPcCapsFrameRate) {
+  Rig rig;
+  RealPlayerConfig cfg;
+  cfg.playout.pc = client::pc_class_by_name("Intel Pentium MMX / 24MB");
+  const auto& stats = rig.play(1, cfg);
+  ASSERT_TRUE(rig.player->finished());
+  EXPECT_TRUE(stats.played_any_frame);
+  // The thrashing Pentium MMX plays a slideshow (paper Fig 19).
+  EXPECT_LT(stats.measured_fps, 4.5);
+  EXPECT_GT(stats.frames_cpu_scaled, 0);
+  // Decode-bound: CPU duty is several times that of a healthy machine
+  // (which idles below ~10% on the same clip).
+  EXPECT_GT(stats.cpu_utilization, 0.35);
+}
+
+TEST(Streaming, CongestedPathRebuffersOrDegrades) {
+  RealServerConfig server_cfg;
+  Rig rig(kbps(500), kbps(120), msec(40), server_cfg, 16 * 1024);
+  // Backbone slower than every encoding level of the SureStream clip and
+  // loaded with cross traffic: the session has to adapt hard.
+  net::CrossTrafficConfig ct;
+  ct.burst_rate = kbps(110);
+  ct.mean_on = msec(900);
+  ct.mean_off = msec(300);
+  net::CrossTrafficSource cross(*rig.net_, rig.isp_a, rig.isp_b, ct,
+                                util::Rng(5));
+  cross.start();
+  RealPlayerConfig cfg;
+  cfg.reported_bandwidth = kbps(450);
+  const auto& stats = rig.play(1, cfg, sec(250));
+  ASSERT_TRUE(rig.player->finished());
+  EXPECT_TRUE(stats.played_any_frame);
+  // Strongly congested: low bandwidth and either stalls or heavy quality
+  // degradation must show up somewhere.
+  EXPECT_LT(stats.measured_bandwidth, kbps(300));
+  const bool degraded = stats.rebuffer_events > 0 ||
+                        stats.measured_fps < 12.0 ||
+                        stats.jitter_ms > 50.0;
+  EXPECT_TRUE(degraded);
+}
+
+TEST(Streaming, SureStreamSwitchesDownUnderCongestion) {
+  RealServerConfig server_cfg;
+  Rig rig(kbps(120), mbps(10), msec(30), server_cfg, 12 * 1024);
+  RealPlayerConfig cfg;
+  // The player claims broadband but the access link is ~120 Kbps: the
+  // server must switch down from its initial high level.
+  cfg.reported_bandwidth = kbps(450);
+  const auto& stats = rig.play(1, cfg, sec(200));
+  ASSERT_TRUE(rig.player->finished());
+  EXPECT_TRUE(stats.played_any_frame);
+  EXPECT_GT(rig.server->total_level_switches(), 0u);
+  // It ends on a level the link can actually carry.
+  EXPECT_LT(stats.measured_bandwidth, kbps(140));
+}
+
+TEST(Streaming, PerSecondSamplesCoverPlayout) {
+  Rig rig;
+  const auto& stats = rig.play(0);
+  ASSERT_TRUE(rig.player->finished());
+  EXPECT_GT(stats.samples.size(), 40u);
+  double received = 0;
+  for (const auto& s : stats.samples) received += s.bandwidth;
+  EXPECT_GT(received, 0.0);
+}
+
+TEST(Streaming, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Rig rig;
+    const auto stats = rig.play(0);
+    return std::make_tuple(stats.measured_fps, stats.jitter_ms,
+                           stats.bytes_received, stats.frames_played);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+
+TEST(Streaming, TwoConcurrentClientsShareOneServer) {
+  // The per-play study model never exercises multi-session serving; this
+  // does: two players, two client nodes, one RealServerApp.
+  sim::Simulator sim;
+  auto net_ = std::make_unique<net::Network>(sim);
+  const auto c1 = net_->add_node("c1");
+  const auto c2 = net_->add_node("c2");
+  const auto hub = net_->add_node("hub");
+  const auto srv = net_->add_node("srv");
+  net_->add_link(c1, hub, kbps(500), msec(5));
+  net_->add_link(c2, hub, kbps(500), msec(9));
+  net_->add_link(hub, srv, mbps(10), msec(10));
+  net_->compute_routes();
+  media::Catalog catalog = make_catalog();
+  RealServerApp server(*net_, srv, catalog, {}, util::Rng(2));
+
+  RealPlayerConfig cfg1;
+  RealPlayerConfig cfg2;
+  cfg2.prefer_udp = false;  // one UDP session, one TCP session
+  RealPlayerApp p1(*net_, c1, {srv, 554}, catalog.clip(0).id(), catalog,
+                   cfg1);
+  RealPlayerApp p2(*net_, c2, {srv, 554}, catalog.clip(1).id(), catalog,
+                   cfg2);
+  p1.start();
+  p2.start();
+  sim.run_until(sec(150));
+  ASSERT_TRUE(p1.finished());
+  ASSERT_TRUE(p2.finished());
+  EXPECT_TRUE(p1.stats().played_any_frame);
+  EXPECT_TRUE(p2.stats().played_any_frame);
+  EXPECT_EQ(p1.stats().protocol, net::Protocol::kUdp);
+  EXPECT_EQ(p2.stats().protocol, net::Protocol::kTcp);
+  EXPECT_GT(p1.stats().measured_fps, 4.0);
+  EXPECT_GT(p2.stats().measured_fps, 4.0);
+}
+
+TEST(Streaming, DeliveryTapObservesSession) {
+  Rig rig;
+  std::size_t tapped = 0;
+  bool saw_media = false;
+  rig.net_->set_delivery_tap(
+      [&](const net::Packet& p, net::NodeId, SimTime) {
+        ++tapped;
+        saw_media |= p.meta != nullptr &&
+                     dynamic_cast<const media::MediaPacketMeta*>(
+                         p.meta.get()) != nullptr;
+      });
+  rig.play(1);
+  EXPECT_GT(tapped, 500u);
+  EXPECT_TRUE(saw_media);
+}
+
+TEST(Streaming, MetafileDisabledStillPlays) {
+  Rig rig;
+  RealPlayerConfig cfg;
+  cfg.fetch_metafile = false;
+  const auto& stats = rig.play(1, cfg);
+  ASSERT_TRUE(rig.player->finished());
+  EXPECT_TRUE(stats.played_any_frame);
+}
+}  // namespace
+}  // namespace rv

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace rv {
+namespace {
+
+using util::Rng;
+
+TEST(Check, PassesOnTrue) { EXPECT_NO_THROW(RV_CHECK(1 + 1 == 2)); }
+
+TEST(Check, ThrowsOnFalse) {
+  EXPECT_THROW(RV_CHECK(false) << "context", util::CheckError);
+}
+
+TEST(Check, ComparisonMacros) {
+  EXPECT_NO_THROW(RV_CHECK_EQ(2, 2));
+  EXPECT_THROW(RV_CHECK_LT(3, 2), util::CheckError);
+  EXPECT_THROW(RV_CHECK_GE(1, 2), util::CheckError);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(sec(2), 2'000'000);
+  EXPECT_EQ(msec(3), 3'000);
+  EXPECT_DOUBLE_EQ(to_seconds(sec(5)), 5.0);
+  EXPECT_DOUBLE_EQ(to_msec(msec(7)), 7.0);
+  EXPECT_DOUBLE_EQ(kbps(56.0), 56'000.0);
+  EXPECT_EQ(seconds_to_sim(1.5), 1'500'000);
+}
+
+TEST(Units, TransmissionTimeRoundsUp) {
+  // 1000 bytes at 1 Mbps = exactly 8000 usec.
+  EXPECT_EQ(transmission_time(1000, mbps(1)), 8000);
+  // 1 byte at 1 Gbps < 1 usec, rounds to 1.
+  EXPECT_EQ(transmission_time(1, 1e9), 1);
+  EXPECT_EQ(transmission_time(0, mbps(1)), 0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // every value in [-3, 3] appears
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  constexpr int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  constexpr int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(17);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40'000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, WeightedIndexRejectsAllZero) {
+  Rng rng(19);
+  const std::vector<double> w = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(w), util::CheckError);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(23);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (c1.next_u64() == c2.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkByLabelDeterministic) {
+  Rng a(29);
+  Rng b(29);
+  Rng fa = a.fork("clip-7");
+  Rng fb = b.fork("clip-7");
+  EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Strings, Split) {
+  const auto parts = util::split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitFirst) {
+  const auto [k, v] = util::split_first("Transport: RDT/UDP", ':');
+  EXPECT_EQ(k, "Transport");
+  EXPECT_EQ(util::trim(v), "RDT/UDP");
+  const auto [k2, v2] = util::split_first("noseparator", ':');
+  EXPECT_EQ(k2, "noseparator");
+  EXPECT_EQ(v2, "");
+}
+
+TEST(Strings, TrimAndLower) {
+  EXPECT_EQ(util::trim("  x y \t\n"), "x y");
+  EXPECT_EQ(util::trim(""), "");
+  EXPECT_EQ(util::to_lower("AbC"), "abc");
+  EXPECT_TRUE(util::iequals("CSeq", "cseq"));
+  EXPECT_FALSE(util::iequals("CSeq", "cse"));
+}
+
+TEST(Strings, StrCatAndFormat) {
+  EXPECT_EQ(util::str_cat("a=", 1, ", b=", 2.5), "a=1, b=2.5");
+  EXPECT_EQ(util::format_double(3.14159, 2), "3.14");
+}
+
+TEST(Strings, StableHashIsStable) {
+  EXPECT_EQ(util::stable_hash("abc"), util::stable_hash("abc"));
+  EXPECT_NE(util::stable_hash("abc"), util::stable_hash("abd"));
+}
+
+}  // namespace
+}  // namespace rv
+
+// --- Args ------------------------------------------------------------------
+
+#include "util/args.h"
+
+namespace rv {
+namespace {
+
+util::Args make_args(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v(argv);
+  return util::Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, KeyValueForms) {
+  const auto args =
+      make_args({"prog", "--scale", "0.5", "--seed=42", "--verbose"});
+  EXPECT_EQ(args.program(), "prog");
+  EXPECT_EQ(args.get("scale"), "0.5");
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 1.0), 0.5);
+  EXPECT_EQ(args.get_int("seed", 0), 42);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("quiet"));
+}
+
+TEST(Args, PositionalArguments) {
+  const auto args = make_args({"prog", "fig", "11", "--scale", "0.1"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "fig");
+  EXPECT_EQ(args.positional()[1], "11");
+}
+
+TEST(Args, Fallbacks) {
+  const auto args = make_args({"prog"});
+  EXPECT_EQ(args.get_or("missing", "x"), "x");
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_FALSE(args.get("missing").has_value());
+}
+
+TEST(Args, FlagFollowedByFlag) {
+  const auto args = make_args({"prog", "--live", "--watch", "30"});
+  EXPECT_TRUE(args.has("live"));
+  EXPECT_EQ(args.get("live"), "");  // bare flag, no value swallowed
+  EXPECT_EQ(args.get_int("watch", 0), 30);
+}
+
+TEST(Args, ValueContainingEquals) {
+  const auto args = make_args({"prog", "--filter=key=value"});
+  EXPECT_EQ(args.get("filter"), "key=value");
+}
+
+}  // namespace
+}  // namespace rv

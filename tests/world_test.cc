@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "world/path_builder.h"
+#include "world/region_graph.h"
+#include "world/servers.h"
+#include "world/users.h"
+
+namespace rv::world {
+namespace {
+
+TEST(RegionGraph, AllRegionPairsConnected) {
+  const RegionGraph graph;
+  const Region all[] = {
+      Region::kUsEast,       Region::kUsWest, Region::kEurope,
+      Region::kAsia,         Region::kJapan,  Region::kAustralia,
+      Region::kSouthAmerica, Region::kMiddleEast,
+  };
+  for (const Region a : all) {
+    for (const Region b : all) {
+      if (a == b) continue;
+      EXPECT_FALSE(graph.path(a, b).empty())
+          << region_name(a) << " -> " << region_name(b);
+      EXPECT_GT(graph.path_delay(a, b), 0);
+    }
+  }
+}
+
+TEST(RegionGraph, PathDelaySymmetric) {
+  const RegionGraph graph;
+  EXPECT_EQ(graph.path_delay(Region::kUsEast, Region::kAustralia),
+            graph.path_delay(Region::kAustralia, Region::kUsEast));
+}
+
+TEST(RegionGraph, TransPacificViaUsWest) {
+  const RegionGraph graph;
+  // Australia reaches us-east through us-west (74 + 32 ms).
+  EXPECT_EQ(graph.path(Region::kAustralia, Region::kUsEast).size(), 2u);
+  EXPECT_EQ(graph.path_delay(Region::kAustralia, Region::kUsEast),
+            msec(74 + 32));
+}
+
+TEST(RegionGraph, SameRegionIsEmptyPath) {
+  const RegionGraph graph;
+  EXPECT_TRUE(graph.path(Region::kEurope, Region::kEurope).empty());
+  EXPECT_EQ(graph.path_delay(Region::kEurope, Region::kEurope), 0);
+}
+
+TEST(Servers, ElevenSitesEightCountries) {
+  const auto& sites = server_sites();
+  EXPECT_EQ(sites.size(), 11u);  // the paper's 11 servers
+  std::set<std::string> countries;
+  for (const auto& s : sites) {
+    countries.insert(s.country);
+    EXPECT_GT(s.access_rate, 0.0);
+    EXPECT_GE(s.unavailability, 0.0);
+    EXPECT_LE(s.unavailability, 0.30);
+    EXPECT_LE(s.load_lo, s.load_hi);
+  }
+  EXPECT_EQ(countries.size(), 8u);  // 8 countries (Fig 8)
+}
+
+TEST(Servers, MeanUnavailabilityNearTenPercent) {
+  double total = 0.0;
+  for (const auto& s : server_sites()) total += s.unavailability;
+  const double mean = total / static_cast<double>(server_sites().size());
+  EXPECT_GT(mean, 0.05);
+  EXPECT_LT(mean, 0.15);  // the paper reports "about 10%"
+}
+
+TEST(Population, SixtyThreeUsersTwelveCountries) {
+  const auto users = generate_population({});
+  EXPECT_EQ(users.size(), 63u);
+  std::set<std::string> countries;
+  for (const auto& u : users) countries.insert(u.country);
+  EXPECT_EQ(countries.size(), 12u);  // Fig 7
+}
+
+TEST(Population, UsStateQuotasMatchFig9) {
+  const auto users = generate_population({});
+  std::map<std::string, int> by_state;
+  int us_users = 0;
+  for (const auto& u : users) {
+    if (u.country == "US") {
+      ++us_users;
+      ++by_state[u.us_state];
+    }
+  }
+  EXPECT_EQ(us_users, 41);
+  EXPECT_EQ(by_state["MA"], 18);  // Massachusetts dominates (Fig 9)
+  EXPECT_EQ(by_state.size(), 17u);
+  for (const auto& [state, n] : by_state) {
+    EXPECT_GT(n, 0) << state;
+  }
+}
+
+TEST(Population, PlayCountsInPlaylistRange) {
+  const auto users = generate_population({});
+  int total = 0;
+  for (const auto& u : users) {
+    EXPECT_GE(u.clips_to_play, 3);
+    EXPECT_LE(u.clips_to_play, 98);
+    EXPECT_GE(u.clips_to_rate, 0);
+    EXPECT_LE(u.clips_to_rate, u.clips_to_play);
+    total += u.clips_to_play;
+  }
+  // Total plays in the neighbourhood of the paper's 2855.
+  EXPECT_GT(total, 2300);
+  EXPECT_LT(total, 3500);
+}
+
+TEST(Population, DeterministicFromSeed) {
+  const auto a = generate_population({});
+  const auto b = generate_population({});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].connection, b[i].connection);
+    EXPECT_EQ(a[i].clips_to_play, b[i].clips_to_play);
+  }
+  PopulationConfig other;
+  other.seed = 999;
+  const auto c = generate_population(other);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff |= a[i].seed != c[i].seed;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Population, AustraliaIsModemHeavy) {
+  const auto users = generate_population({});
+  int aus = 0;
+  int aus_modem = 0;
+  for (const auto& u : users) {
+    if (u.group == UserRegionGroup::kAustraliaNz) {
+      ++aus;
+      aus_modem += u.connection == ConnectionClass::kModem56k;
+    }
+  }
+  EXPECT_GE(aus, 3);
+  // The Fig 15 mechanism: nearly all Aus/NZ participants on modems.
+  EXPECT_GE(aus_modem * 2, aus);
+}
+
+TEST(AccessSpec, ClassesOrderedByRate) {
+  util::Rng rng(3);
+  const auto modem = access_spec_for(ConnectionClass::kModem56k, rng);
+  const auto dsl = access_spec_for(ConnectionClass::kDslCable, rng);
+  const auto t1 = access_spec_for(ConnectionClass::kT1Lan, rng);
+  EXPECT_LT(modem.rate, kbps(56));
+  EXPECT_GT(dsl.rate, modem.rate);
+  EXPECT_GT(t1.rate, dsl.rate);
+  EXPECT_GT(modem.delay, dsl.delay);  // modems add latency
+  EXPECT_GT(t1.cross_load_hi, 0.0);   // corporate contention
+}
+
+TEST(PathBuilder, BuildsWorkingPath) {
+  const RegionGraph graph;
+  PathBuilder builder(graph);
+  sim::Simulator sim;
+  auto users = generate_population({});
+  util::Rng rng(1);
+  const AccessSpec access = access_spec_for(users[0].connection, rng);
+  PlayPath path = builder.build(sim, users[0], access,
+                                server_sites()[0], rng);
+  ASSERT_NE(path.network, nullptr);
+  EXPECT_EQ(path.network->node_count(), 5u);
+  // Client can reach the server.
+  bool delivered = false;
+  path.network->node(path.server_node)
+      .set_local_sink([&](net::Packet) { delivered = true; });
+  net::Packet p;
+  p.src = path.client_node;
+  p.dst = path.server_node;
+  p.proto = net::Protocol::kUdp;
+  p.size_bytes = 100;
+  path.network->send(p);
+  sim.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(PathBuilder, CrossRegionPathHasHigherDelay) {
+  const RegionGraph graph;
+  PathBuilder builder(graph);
+  auto users = generate_population({});
+  // Find an Australian user; compare path delay to a US site vs AUS site.
+  const UserProfile* aus = nullptr;
+  for (const auto& u : users) {
+    if (u.country == "Australia") aus = &u;
+  }
+  ASSERT_NE(aus, nullptr);
+  EXPECT_GT(graph.path_delay(aus->region, Region::kUsEast),
+            graph.path_delay(aus->region, Region::kAustralia));
+}
+
+TEST(PathBuilder, EpisodesAddCrossTraffic) {
+  const RegionGraph graph;
+  PathBuilderConfig cfg;
+  cfg.episode_probability = 1.0;  // force saturation everywhere
+  PathBuilder builder(graph, cfg);
+  sim::Simulator sim;
+  auto users = generate_population({});
+  util::Rng rng(7);
+  const AccessSpec access = access_spec_for(users[0].connection, rng);
+  PlayPath path =
+      builder.build(sim, users[0], access, server_sites()[0], rng);
+  EXPECT_GE(path.cross_traffic.size(), 3u);
+  path.start_cross_traffic();
+  sim.run_until(sec(5));
+  std::uint64_t emitted = 0;
+  for (const auto& src : path.cross_traffic) {
+    emitted += src->packets_emitted();
+  }
+  EXPECT_GT(emitted, 100u);
+}
+
+}  // namespace
+}  // namespace rv::world

@@ -1,0 +1,253 @@
+// realdata — the study analysis tool (the paper's Notes section promises
+// "an accompanying analysis tool called RealData"): query a study's trace
+// records from the shared cache, slice them by any dimension, and export.
+//
+// Usage:
+//   realdata summary                       study totals (§IV)
+//   realdata fig <5..28>                   regenerate one paper figure
+//   realdata slice [--country US] [--connection modem|dsl|t1]
+//                  [--protocol TCP|UDP] [--server US/CNN]
+//                  [--metric fps|jitter|bandwidth|rating]
+//   realdata users                         per-user play/rate counts
+//   realdata servers                       per-server stats
+//   realdata export <dir>                  all records as CSV
+//
+// Flags: --scale <0..1> (fraction of the study to simulate if no cache),
+//        --seed <n>, --threads <n>.
+#include <filesystem>
+#include <iostream>
+#include <map>
+
+#include "stats/csv.h"
+#include "stats/summary.h"
+#include "study/analysis.h"
+#include "study/cache.h"
+#include "study/figures.h"
+#include "util/args.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace rv;
+using study::Records;
+using util::format_double;
+
+int cmd_summary(const study::StudyResult& result) {
+  std::cout << study::study_summary(result);
+  return 0;
+}
+
+int cmd_fig(const study::StudyResult& result, const study::StudyConfig& cfg,
+            int fig) {
+  using F = std::string (*)(const study::StudyResult&);
+  static const std::map<int, F> table = {
+      {5, &study::fig05_clips_per_user},
+      {6, &study::fig06_rated_per_user},
+      {7, &study::fig07_user_countries},
+      {8, &study::fig08_server_countries},
+      {9, &study::fig09_us_states},
+      {10, &study::fig10_availability},
+      {11, &study::fig11_framerate_all},
+      {12, &study::fig12_framerate_by_net},
+      {13, &study::fig13_bandwidth_by_net},
+      {14, &study::fig14_framerate_by_server_region},
+      {15, &study::fig15_framerate_by_user_region},
+      {16, &study::fig16_protocol_mix},
+      {17, &study::fig17_framerate_by_protocol},
+      {18, &study::fig18_bandwidth_by_protocol},
+      {19, &study::fig19_framerate_by_pc},
+      {20, &study::fig20_jitter_all},
+      {21, &study::fig21_jitter_by_net},
+      {22, &study::fig22_jitter_by_server_region},
+      {23, &study::fig23_jitter_by_user_region},
+      {24, &study::fig24_jitter_by_protocol},
+      {25, &study::fig25_jitter_by_bandwidth},
+      {26, &study::fig26_quality_all},
+      {27, &study::fig27_quality_by_net},
+      {28, &study::fig28_quality_vs_bandwidth},
+  };
+  if (fig == 1) {
+    std::cout << study::fig01_buffering(cfg);
+    return 0;
+  }
+  const auto it = table.find(fig);
+  if (it == table.end()) {
+    std::cerr << "no such figure: " << fig << " (1, 5..28)\n";
+    return 1;
+  }
+  std::cout << it->second(result);
+  return 0;
+}
+
+int cmd_slice(const study::StudyResult& result, const util::Args& args) {
+  Records records = result.played();
+  if (const auto v = args.get("country")) {
+    records = study::filter(records, [&](const tracer::TraceRecord& r) {
+      return r.country == *v;
+    });
+  }
+  if (const auto v = args.get("connection")) {
+    records = study::filter(records, [&](const tracer::TraceRecord& r) {
+      const auto name = world::connection_class_name(r.connection);
+      return (*v == "modem" && name == "56k Modem") ||
+             (*v == "dsl" && name == "DSL/Cable") ||
+             (*v == "t1" && name == "T1/LAN") || name == *v;
+    });
+  }
+  if (const auto v = args.get("protocol")) {
+    records = study::filter(records, [&](const tracer::TraceRecord& r) {
+      return util::iequals(net::protocol_name(r.stats.protocol), *v);
+    });
+  }
+  if (const auto v = args.get("server")) {
+    records = study::filter(records, [&](const tracer::TraceRecord& r) {
+      return r.server_name == *v;
+    });
+  }
+  if (records.empty()) {
+    std::cout << "no records match\n";
+    return 1;
+  }
+  const std::string metric = args.get_or("metric", "fps");
+  std::vector<double> values;
+  if (metric == "jitter") {
+    values = study::jitters_ms(records);
+  } else if (metric == "bandwidth") {
+    values = study::bandwidths_kbps(records);
+  } else if (metric == "rating") {
+    values = study::ratings(records);
+  } else {
+    values = study::frame_rates(records);
+  }
+  if (values.empty()) {
+    std::cout << "no values (rating requires rated records)\n";
+    return 1;
+  }
+  stats::Summary summary;
+  summary.add_all(values);
+  std::cout << records.size() << " records, metric=" << metric << "\n";
+  std::cout << "  mean   " << format_double(summary.mean(), 2) << "\n";
+  std::cout << "  stddev " << format_double(summary.stddev(), 2) << "\n";
+  std::cout << "  min    " << format_double(summary.min(), 2) << "\n";
+  std::cout << "  p25    " << format_double(stats::quantile(values, 0.25), 2)
+            << "\n";
+  std::cout << "  median " << format_double(stats::quantile(values, 0.50), 2)
+            << "\n";
+  std::cout << "  p75    " << format_double(stats::quantile(values, 0.75), 2)
+            << "\n";
+  std::cout << "  max    " << format_double(summary.max(), 2) << "\n";
+  return 0;
+}
+
+int cmd_users(const study::StudyResult& result) {
+  std::map<int, std::pair<int, int>> counts;  // id -> (played, rated)
+  for (const auto& r : result.records) {
+    if (r.analyzable()) ++counts[r.user_id].first;
+    if (r.rated()) ++counts[r.user_id].second;
+  }
+  std::cout << "id  country        state conn        plays rated\n";
+  for (const auto& u : result.users) {
+    const auto it = counts.find(u.id);
+    std::cout << "  " << u.id << "\t" << u.country << "\t" << u.us_state
+              << "\t" << world::connection_class_name(u.connection) << "\t"
+              << (it == counts.end() ? 0 : it->second.first) << "\t"
+              << (it == counts.end() ? 0 : it->second.second)
+              << (u.rtsp_blocked ? "\t(rtsp blocked, excluded)" : "")
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_servers(const study::StudyResult& result) {
+  const auto played = result.played();
+  const auto unavailable = study::unavailability_by_server(result.accesses());
+  std::map<std::string, Records> by_server;
+  for (const auto* r : played) by_server[r->server_name].push_back(r);
+  std::cout << "server        plays  mean-fps  mean-jitter  unavailable\n";
+  for (const auto& [name, records] : by_server) {
+    std::cout << "  " << name
+              << std::string(name.size() < 13 ? 13 - name.size() : 1, ' ')
+              << records.size() << "\t"
+              << format_double(stats::mean_of(study::frame_rates(records)), 1)
+              << "\t"
+              << format_double(stats::mean_of(study::jitters_ms(records)), 0)
+              << "ms\t"
+              << format_double(
+                     (unavailable.count(name) != 0u ? unavailable.at(name)
+                                                    : 0.0) * 100.0, 1)
+              << "%\n";
+  }
+  return 0;
+}
+
+int cmd_export(const study::StudyResult& result, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  stats::CsvWriter csv(dir + "/records.csv");
+  csv.write_row({"user_id", "country", "state", "user_region", "connection",
+                 "pc_class", "server", "server_country", "clip_id",
+                 "available", "protocol", "encoded_kbps", "measured_kbps",
+                 "encoded_fps", "measured_fps", "jitter_ms", "frames_played",
+                 "frames_dropped", "rebuffer_events", "preroll_sec",
+                 "cpu_utilization", "rating"});
+  for (const auto& r : result.records) {
+    if (r.rtsp_blocked_user) continue;
+    csv.write_row(
+        {std::to_string(r.user_id), r.country, r.us_state,
+         std::string(world::user_region_group_name(r.user_group)),
+         std::string(world::connection_class_name(r.connection)), r.pc_class,
+         r.server_name, r.server_country, std::to_string(r.clip_id),
+         r.available ? "1" : "0",
+         std::string(net::protocol_name(r.stats.protocol)),
+         format_double(to_kbps(r.stats.encoded_bandwidth), 1),
+         format_double(to_kbps(r.stats.measured_bandwidth), 1),
+         format_double(r.stats.encoded_fps, 2),
+         format_double(r.stats.measured_fps, 2),
+         format_double(r.stats.jitter_ms, 1),
+         std::to_string(r.stats.frames_played),
+         std::to_string(r.stats.frames_dropped),
+         std::to_string(r.stats.rebuffer_events),
+         format_double(r.stats.preroll_seconds, 2),
+         format_double(r.stats.cpu_utilization, 3),
+         r.rated() ? format_double(r.rating, 2) : "-"});
+  }
+  std::cout << "wrote " << dir << "/records.csv\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  if (args.positional().empty() || args.has("help")) {
+    std::cout << "usage: realdata <summary|fig N|slice|users|servers|"
+                 "export DIR> [--scale X] [--seed N] [--threads N] "
+                 "[slice flags]\n";
+    return args.has("help") ? 0 : 1;
+  }
+
+  study::StudyConfig config;
+  config.play_scale = args.get_double("scale", 1.0);
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2001));
+  config.threads = static_cast<int>(args.get_int("threads", 0));
+  const study::StudyResult result = study::run_study_cached(config);
+
+  const std::string& command = args.positional()[0];
+  if (command == "summary") return cmd_summary(result);
+  if (command == "fig") {
+    if (args.positional().size() < 2) {
+      std::cerr << "fig requires a figure number\n";
+      return 1;
+    }
+    return cmd_fig(result, config, std::atoi(args.positional()[1].c_str()));
+  }
+  if (command == "slice") return cmd_slice(result, args);
+  if (command == "users") return cmd_users(result);
+  if (command == "servers") return cmd_servers(result);
+  if (command == "export") {
+    return cmd_export(result, args.positional().size() > 1
+                                  ? args.positional()[1]
+                                  : "realdata_export");
+  }
+  std::cerr << "unknown command: " << command << "\n";
+  return 1;
+}

@@ -1,0 +1,135 @@
+// retracer — play one clip through the simulator and print the RealTracer
+// record, like running the paper's instrumented player once.
+//
+// Usage:
+//   retracer [--connection modem|dsl|t1] [--pc <fig19-class>]
+//            [--region us-east|us-west|europe|asia|japan|australia|
+//                      s-america|middle-east]
+//            [--clip <playlist-index 0..97>] [--protocol auto|tcp]
+//            [--live] [--watch <seconds>] [--seed <n>] [--samples]
+//
+// Examples:
+//   retracer --connection modem --clip 8
+//   retracer --connection dsl --region australia --protocol tcp --samples
+#include <iostream>
+
+#include "study/study.h"
+#include "tracer/real_tracer.h"
+#include "util/args.h"
+#include "util/strings.h"
+#include "world/region_graph.h"
+
+namespace {
+
+using namespace rv;
+
+world::ConnectionClass parse_connection(const std::string& s) {
+  if (s == "modem") return world::ConnectionClass::kModem56k;
+  if (s == "t1" || s == "lan") return world::ConnectionClass::kT1Lan;
+  return world::ConnectionClass::kDslCable;
+}
+
+world::Region parse_region(const std::string& s) {
+  const std::pair<const char*, world::Region> table[] = {
+      {"us-east", world::Region::kUsEast},
+      {"us-west", world::Region::kUsWest},
+      {"europe", world::Region::kEurope},
+      {"asia", world::Region::kAsia},
+      {"japan", world::Region::kJapan},
+      {"australia", world::Region::kAustralia},
+      {"s-america", world::Region::kSouthAmerica},
+      {"middle-east", world::Region::kMiddleEast},
+  };
+  for (const auto& [name, region] : table) {
+    if (s == name) return region;
+  }
+  return world::Region::kUsEast;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  if (args.has("help")) {
+    std::cout << "usage: retracer [--connection modem|dsl|t1] [--pc <class>]"
+                 " [--region <name>] [--clip <0..97>] [--protocol auto|tcp]"
+                 " [--live] [--watch <sec>] [--seed <n>] [--samples]\n";
+    return 0;
+  }
+
+  study::StudyConfig study_cfg;
+  study_cfg.seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 2001));
+  const media::Catalog catalog = study::make_catalog(study_cfg);
+  const world::RegionGraph graph;
+
+  tracer::TracerConfig tracer_cfg;
+  tracer_cfg.live_content = args.has("live");
+  tracer_cfg.watch_duration =
+      seconds_to_sim(args.get_double("watch", 60.0));
+  const tracer::RealTracer tracer(catalog, graph, tracer_cfg);
+
+  world::UserProfile user;
+  user.country = "US";
+  user.us_state = "MA";
+  user.region = parse_region(args.get_or("region", "us-east"));
+  user.group = world::UserRegionGroup::kUsCanada;
+  user.connection = parse_connection(args.get_or("connection", "dsl"));
+  user.pc_class = args.get_or("pc", "Pentium II / 128-256");
+  user.isp_load_lo = 0.3;
+  user.isp_load_hi = 0.6;
+  user.seed = static_cast<std::uint64_t>(args.get_int("seed", 2001));
+
+  const auto playlist_index = static_cast<std::size_t>(
+      args.get_int("clip", 0)) % catalog.size();
+  const bool force_tcp = args.get_or("protocol", "auto") == "tcp";
+
+  const auto rec = tracer.run_single(
+      user, playlist_index,
+      user.seed * 7919 + playlist_index, force_tcp);
+
+  const auto& clip = catalog.clip(playlist_index);
+  const auto& stats = rec.stats;
+  using util::format_double;
+  std::cout << "clip:        " << clip.title() << " ("
+            << to_seconds(clip.duration()) << " s, "
+            << clip.levels().size() << " levels, served by "
+            << rec.server_name << ")\n";
+  std::cout << "connection:  "
+            << world::connection_class_name(user.connection) << " / "
+            << user.pc_class << " / "
+            << world::region_name(user.region) << "\n";
+  if (!rec.available) {
+    std::cout << "result:      clip unavailable (the Fig 10 case)\n";
+    return 1;
+  }
+  std::cout << "transport:   " << net::protocol_name(stats.protocol)
+            << (stats.fell_back_to_tcp ? " (fell back from UDP)" : "")
+            << (tracer_cfg.live_content ? ", live" : "") << "\n";
+  std::cout << "encoded:     "
+            << format_double(to_kbps(stats.encoded_bandwidth), 0) << " Kbps @ "
+            << format_double(stats.encoded_fps, 1) << " fps\n";
+  std::cout << "measured:    "
+            << format_double(to_kbps(stats.measured_bandwidth), 0)
+            << " Kbps @ " << format_double(stats.measured_fps, 1)
+            << " fps\n";
+  std::cout << "jitter:      " << format_double(stats.jitter_ms, 1)
+            << " ms\n";
+  std::cout << "pre-roll:    " << format_double(stats.preroll_seconds, 1)
+            << " s, rebuffers: " << stats.rebuffer_events << " ("
+            << format_double(stats.rebuffer_seconds, 1) << " s)\n";
+  std::cout << "frames:      " << stats.frames_played << " played, "
+            << stats.frames_dropped << " dropped, "
+            << stats.frames_cpu_scaled << " cpu-scaled\n";
+  std::cout << "cpu:         "
+            << format_double(stats.cpu_utilization * 100.0, 0) << "%\n";
+  if (args.has("samples")) {
+    std::cout << "\n t(s)  Kbps   fps\n";
+    for (const auto& s : stats.samples) {
+      std::cout << "  " << format_double(s.t_seconds, 0) << "\t"
+                << format_double(to_kbps(s.bandwidth), 0) << "\t"
+                << format_double(s.frame_rate, 0) << "\n";
+    }
+  }
+  return stats.played_any_frame ? 0 : 1;
+}
