@@ -23,6 +23,8 @@ struct ClipStats {
   bool played_any_frame = false;
   net::Protocol protocol = net::Protocol::kUdp;
   bool fell_back_to_tcp = false;
+  bool fell_back_to_http = false;       // ladder reached the HTTP-cloak rung
+  std::int32_t rtsp_retries = 0;        // timed-out connect/request attempts
 
   BitsPerSec encoded_bandwidth = 0.0;   // time-weighted active-level rate
   double encoded_fps = 0.0;             // time-weighted encoded frame rate

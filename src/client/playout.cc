@@ -11,6 +11,11 @@ namespace rv::client {
 PlayoutEngine::PlayoutEngine(sim::Simulator& sim, const PlayoutConfig& config)
     : sim_(sim), config_(config), noise_rng_(config.noise_seed) {}
 
+PlayoutEngine::~PlayoutEngine() {
+  sim_.cancel(frame_event_);
+  sim_.cancel(timer_event_);
+}
+
 void PlayoutEngine::start() {
   RV_CHECK(!started_);
   started_ = true;

@@ -41,6 +41,9 @@ class PlayoutEngine {
   enum class State { kPreroll, kPlaying, kRebuffering, kDone };
 
   PlayoutEngine(sim::Simulator& sim, const PlayoutConfig& config);
+  // Pending frame/preroll events capture `this`; cancel them so the engine
+  // can be replaced mid-session (TCP fallback discards the UDP engine).
+  ~PlayoutEngine();
 
   // Playout lifecycle -----------------------------------------------------
   void start();  // called at PLAY time; pre-roll begins

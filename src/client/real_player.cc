@@ -45,11 +45,14 @@ RealPlayerApp::~RealPlayerApp() {
   sim.cancel(watchdog_event_);
   sim.cancel(sample_event_);
   sim.cancel(poll_event_);
+  sim.cancel(connect_timer_);
+  sim.cancel(request_timer_);
+  sim.cancel(retry_timer_);
 }
 
 void RealPlayerApp::start() {
-  using_udp_ = config_.prefer_udp;
-  stats_.protocol = using_udp_ ? net::Protocol::kUdp : net::Protocol::kTcp;
+  plan_ = config_.prefer_udp ? TransportPlan::kUdp : TransportPlan::kTcp;
+  retry_ = rtsp::RetryState(config_.retry);
   playout_ = std::make_unique<PlayoutEngine>(network_.simulator(),
                                              config_.playout);
   watchdog_event_ = network_.simulator().schedule_in(
@@ -57,17 +60,116 @@ void RealPlayerApp::start() {
         watchdog_event_ = sim::kInvalidEventId;
         finish();
       });
-  if (config_.fetch_metafile && config_.http_port != 0) {
+  start_attempt();
+}
+
+// --- Retry ladder ----------------------------------------------------------
+
+void RealPlayerApp::start_attempt() {
+  if (finished_) return;
+  ++attempt_epoch_;
+  using_udp_ = plan_ == TransportPlan::kUdp;
+  stats_.protocol = using_udp_ ? net::Protocol::kUdp : net::Protocol::kTcp;
+  if (!metafile_ok_ && config_.fetch_metafile && config_.http_port != 0) {
     fetch_metafile();
   } else {
     open_control();
   }
 }
 
+void RealPlayerApp::arm_connect_timer() {
+  network_.simulator().cancel(connect_timer_);
+  connect_timer_ = network_.simulator().schedule_in(
+      config_.connect_timeout, [this] {
+        connect_timer_ = sim::kInvalidEventId;
+        on_attempt_failed();
+      });
+}
+
+void RealPlayerApp::arm_request_timer() {
+  network_.simulator().cancel(request_timer_);
+  request_timer_ = network_.simulator().schedule_in(
+      config_.request_timeout, [this] {
+        request_timer_ = sim::kInvalidEventId;
+        on_attempt_failed();
+      });
+}
+
+void RealPlayerApp::cancel_attempt_timers() {
+  auto& sim = network_.simulator();
+  sim.cancel(connect_timer_);
+  sim.cancel(request_timer_);
+  connect_timer_ = sim::kInvalidEventId;
+  request_timer_ = sim::kInvalidEventId;
+}
+
+void RealPlayerApp::abort_attempt_connections() {
+  // Detach callbacks first: the closes below are intentional and must not
+  // re-enter the failure path.
+  if (http_conn_) {
+    http_conn_->set_on_closed({});
+    http_conn_->set_on_chunk({});
+    http_conn_->close();
+    http_conn_.reset();
+  }
+  if (control_) {
+    control_->set_on_closed({});
+    control_->set_on_chunk({});
+    control_->close();
+    control_.reset();
+  }
+  data_socket_.reset();
+  pending_.clear();
+}
+
+// A connect or request attempt timed out (or its connection died early):
+// back off and retry the current transport plan, or fall down the ladder.
+void RealPlayerApp::on_attempt_failed() {
+  if (finished_ || playing_) return;
+  ++attempt_epoch_;
+  cancel_attempt_timers();
+  abort_attempt_connections();
+  if (const auto backoff = retry_.next_backoff()) {
+    ++stats_.rtsp_retries;
+    retry_timer_ = network_.simulator().schedule_in(*backoff, [this] {
+      retry_timer_ = sim::kInvalidEventId;
+      start_attempt();
+    });
+    return;
+  }
+  advance_plan();
+}
+
+void RealPlayerApp::advance_plan() {
+  retry_.reset();
+  if (plan_ == TransportPlan::kUdp) {
+    plan_ = TransportPlan::kTcp;
+    fallback_done_ = true;
+    stats_.fell_back_to_tcp = true;
+  } else if (plan_ == TransportPlan::kTcp && config_.http_cloak_fallback &&
+             config_.http_port != 0) {
+    plan_ = TransportPlan::kHttpCloak;
+    stats_.fell_back_to_http = true;
+  } else {
+    give_up();
+    return;
+  }
+  start_attempt();
+}
+
+void RealPlayerApp::give_up() {
+  // The whole ladder failed before a session was ever established: as far
+  // as RealTracer can tell, the clip is unavailable (Fig 10).
+  if (!stats_.session_established) clip_unavailable_ = true;
+  finish();
+}
+
 void RealPlayerApp::fetch_metafile() {
   // The browser step: GET the .ram metafile; its body names the rtsp:// URL.
   http_conn_ = std::make_unique<transport::TcpConnection>(mux_, config_.tcp);
   http_conn_->set_on_established([this] {
+    cancel_attempt_timers();
+    arm_request_timer();
     rtsp::HttpRequest req;
     req.path = server::RealServerApp::metafile_path(clip_id_);
     req.headers.set("User-Agent", "RealTracer/1.0");
@@ -80,14 +182,17 @@ void RealPlayerApp::fetch_metafile() {
         const auto* text =
             dynamic_cast<const media::RtspTextMeta*>(meta.get());
         if (text == nullptr || finished_) return;
+        cancel_attempt_timers();
         const auto resp = rtsp::parse_http_response(text->text);
         http_conn_->set_on_closed({});
         if (!resp || !resp->ok() ||
             rtsp::parse_ram_metafile(resp->body).empty()) {
+          // A definitive "no such clip" from the web server: no retry.
           clip_unavailable_ = true;
           finish();
           return;
         }
+        metafile_ok_ = true;
         // Hand off to the player proper. (Deferred: we are inside the HTTP
         // connection's callback.)
         network_.simulator().schedule_in(0, [this] {
@@ -95,26 +200,43 @@ void RealPlayerApp::fetch_metafile() {
         });
       });
   http_conn_->set_on_closed([this] {
-    if (!playing_ && !finished_ && control_ == nullptr) {
-      network_.simulator().schedule_in(0, [this] { finish(); });
+    // Closed before the metafile arrived: a failed attempt, not a verdict.
+    if (!playing_ && !finished_ && !metafile_ok_) {
+      const auto epoch = attempt_epoch_;
+      network_.simulator().schedule_in(0, [this, epoch] {
+        if (epoch == attempt_epoch_) on_attempt_failed();
+      });
     }
   });
+  arm_connect_timer();
   http_conn_->connect({server_.node, config_.http_port});
 }
 
 void RealPlayerApp::open_control() {
   control_ = std::make_unique<transport::TcpConnection>(mux_, config_.tcp);
-  control_->set_on_established([this] { send_request(rtsp::Method::kDescribe); });
+  control_->set_on_established([this] {
+    cancel_attempt_timers();
+    send_request(rtsp::Method::kDescribe);
+  });
   control_->set_on_chunk(
       [this](std::shared_ptr<const net::PayloadMeta> meta,
              std::int64_t bytes) { on_control_chunk(std::move(meta), bytes); });
   control_->set_on_closed([this] {
-    // A dead control connection before playout ends the session.
+    // A dead control connection before playout: retry rather than declare
+    // the session over.
     if (!playing_ && !finished_) {
-      network_.simulator().schedule_in(0, [this] { finish(); });
+      const auto epoch = attempt_epoch_;
+      network_.simulator().schedule_in(0, [this, epoch] {
+        if (epoch == attempt_epoch_) on_attempt_failed();
+      });
     }
   });
-  control_->connect(server_);
+  arm_connect_timer();
+  // HTTP cloaking speaks RTSP on the web port (port 554 unreachable).
+  const net::Port port = plan_ == TransportPlan::kHttpCloak
+                             ? config_.http_port
+                             : server_.port;
+  control_->connect({server_.node, port});
 }
 
 void RealPlayerApp::send_request(rtsp::Method method) {
@@ -132,6 +254,9 @@ void RealPlayerApp::send_request(rtsp::Method method) {
   }
   const std::string wire = req.serialize();
   pending_.push_back(method);
+  // The session's liveness timer: a silent server (outage, overload stall)
+  // fails the attempt instead of hanging until the watchdog.
+  if (method != rtsp::Method::kTeardown) arm_request_timer();
   control_->send_chunk(static_cast<std::int64_t>(wire.size()),
                        std::make_shared<media::RtspTextMeta>(wire));
 }
@@ -153,6 +278,8 @@ void RealPlayerApp::on_control_chunk(
 
 void RealPlayerApp::on_response(const rtsp::Response& resp) {
   if (pending_.empty()) return;
+  network_.simulator().cancel(request_timer_);
+  request_timer_ = sim::kInvalidEventId;
   const rtsp::Method method = pending_.front();
   pending_.pop_front();
 
@@ -351,6 +478,9 @@ void RealPlayerApp::fall_back_to_tcp() {
   fallback_done_ = true;
   stats_.fell_back_to_tcp = true;
   stats_.protocol = net::Protocol::kTcp;
+  plan_ = TransportPlan::kTcp;
+  retry_.reset();       // fresh attempt budget for the TCP plan
+  ++attempt_epoch_;     // invalidate the UDP attempt's deferred events
   using_udp_ = false;
   playing_ = false;
   // Tear down the old session and reconnect over TCP.
@@ -403,6 +533,9 @@ void RealPlayerApp::finish() {
   sim.cancel(watchdog_event_);
   sim.cancel(sample_event_);
   sim.cancel(poll_event_);
+  sim.cancel(connect_timer_);
+  sim.cancel(request_timer_);
+  sim.cancel(retry_timer_);
 
   if (playout_) {
     playout_->stop();

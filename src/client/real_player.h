@@ -18,6 +18,7 @@
 #include "net/network.h"
 #include "rtsp/http.h"
 #include "rtsp/message.h"
+#include "rtsp/retry.h"
 #include "transport/mux.h"
 #include "transport/tcp.h"
 #include "transport/udp.h"
@@ -40,6 +41,19 @@ struct RealPlayerConfig {
   SimTime feedback_interval = msec(500);
   SimTime watch_duration = sec(60);     // RealTracer plays 1 minute per clip
   SimTime session_timeout = sec(100);   // hard abort for dead sessions
+
+  // --- Timeout/retry hardening (§II.A auto-configuration mechanics) -------
+  // Deadline for a TCP handshake (HTTP metafile or RTSP control) before the
+  // attempt is abandoned and retried.
+  SimTime connect_timeout = sec(8);
+  // Deadline for a DESCRIBE/SETUP/PLAY (or metafile GET) response.
+  SimTime request_timeout = sec(10);
+  // Attempts per transport plan; exhausting it falls down the
+  // UDP → TCP → HTTP-cloak ladder, then gives up.
+  rtsp::RetryPolicy retry;
+  // Final ladder rung: speak RTSP on the server's HTTP port (RealPlayer's
+  // "HTTP cloaking" for networks that block 554 outright).
+  bool http_cloak_fallback = true;
 };
 
 class RealPlayerApp {
@@ -63,6 +77,18 @@ class RealPlayerApp {
   const PlayoutEngine& playout() const { return *playout_; }
 
  private:
+  // The transport auto-configuration ladder (§II.A): try UDP data first,
+  // fall back to TCP interleaving, then to RTSP cloaked on the HTTP port.
+  enum class TransportPlan { kUdp, kTcp, kHttpCloak };
+
+  void start_attempt();
+  void on_attempt_failed();
+  void advance_plan();
+  void give_up();
+  void arm_connect_timer();
+  void arm_request_timer();
+  void cancel_attempt_timers();
+  void abort_attempt_connections();
   void fetch_metafile();
   void open_control();
   void send_request(rtsp::Method method);
@@ -98,6 +124,12 @@ class RealPlayerApp {
   bool playing_ = false;
   bool finished_ = false;
   bool clip_unavailable_ = false;
+  bool metafile_ok_ = false;
+  TransportPlan plan_ = TransportPlan::kUdp;
+  rtsp::RetryState retry_;
+  // Invalidates deferred failure events queued by an earlier attempt's
+  // connection callbacks (bumped on every attempt start/abort).
+  std::uint64_t attempt_epoch_ = 0;
   int cseq_ = 0;
   std::deque<rtsp::Method> pending_;
   net::Endpoint server_data_;
@@ -132,6 +164,9 @@ class RealPlayerApp {
   sim::EventId watchdog_event_ = sim::kInvalidEventId;
   sim::EventId sample_event_ = sim::kInvalidEventId;
   sim::EventId poll_event_ = sim::kInvalidEventId;
+  sim::EventId connect_timer_ = sim::kInvalidEventId;
+  sim::EventId request_timer_ = sim::kInvalidEventId;
+  sim::EventId retry_timer_ = sim::kInvalidEventId;
 
   ClipStats stats_;
   std::function<void()> on_finished_;

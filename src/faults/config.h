@@ -1,0 +1,50 @@
+// Knobs for the deterministic fault-injection subsystem.
+//
+// Everything here is seed-driven: a FaultConfig plus a study seed fully
+// determines every outage window, overload stall and link fault of a
+// campaign, independent of thread count. The tracer consumes this via
+// TracerConfig::faults; the study derives `seed` from StudyConfig::seed when
+// left at 0.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace rv::faults {
+
+struct FaultConfig {
+  // Master switch. When off, nothing below is consulted and the tracer's
+  // legacy per-access Bernoulli availability model is used unchanged.
+  bool enabled = false;
+
+  // Seed for campaign-level schedules (per-site outages). 0 means "derive
+  // from the study seed" — run_study fills it in.
+  std::uint64_t seed = 0;
+
+  // --- Mechanistic unavailability (paper Fig 10) ---------------------------
+  // Instead of a per-access coin flip, each server site gets a schedule of
+  // outage windows over the measurement campaign; an access that lands in a
+  // window finds the server unreachable and the player's retry ladder gives
+  // up. The per-site outage time fraction is calibrated to the Fig 10 rate.
+  bool mechanistic_unavailability = true;
+  SimTime campaign_duration = sec(14 * 24 * 3600);  // the June 2001 fortnight
+  SimTime mean_outage_duration = sec(4 * 3600);
+  // Scales every site's outage target (ablation knob; 1.0 = Fig 10 rates).
+  double outage_scale = 1.0;
+
+  // --- Per-play stochastic faults -----------------------------------------
+  // Server overload: the RTSP daemon accepts connections but stalls its
+  // responses for the first part of the play (admission backlog).
+  double overload_probability = 0.0;
+  double overload_stall_lo_sec = 4.0;
+  double overload_stall_hi_sec = 18.0;
+  // Link flap: one path segment goes fully down for a while mid-play.
+  double link_down_probability = 0.0;
+  double mean_link_down_sec = 5.0;
+  // Corruption burst: one segment drops a fraction of packets for a while.
+  double corruption_probability = 0.0;
+  double corruption_loss_rate = 0.08;
+};
+
+}  // namespace rv::faults

@@ -1,0 +1,76 @@
+#include "faults/injector.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace rv::faults {
+
+PlayFaults draw_play_faults(const FaultConfig& cfg, std::size_t link_count,
+                            util::Rng& rng) {
+  PlayFaults pf;
+  if (!cfg.enabled || link_count == 0) return pf;
+  if (cfg.overload_probability > 0 &&
+      rng.bernoulli(cfg.overload_probability)) {
+    pf.overload_stall_until = seconds_to_sim(
+        rng.uniform(cfg.overload_stall_lo_sec, cfg.overload_stall_hi_sec));
+  }
+  const auto max_link = static_cast<std::int64_t>(link_count) - 1;
+  if (cfg.link_down_probability > 0 &&
+      rng.bernoulli(cfg.link_down_probability)) {
+    LinkFaultSpec s;
+    s.link_index = static_cast<std::size_t>(rng.uniform_int(0, max_link));
+    s.kind = LinkFaultKind::kDown;
+    s.start = seconds_to_sim(rng.uniform(4.0, 50.0));
+    s.duration = seconds_to_sim(
+        std::clamp(rng.exponential(cfg.mean_link_down_sec), 0.5, 25.0));
+    pf.link_faults.push_back(s);
+  }
+  if (cfg.corruption_probability > 0 &&
+      rng.bernoulli(cfg.corruption_probability)) {
+    LinkFaultSpec s;
+    s.link_index = static_cast<std::size_t>(rng.uniform_int(0, max_link));
+    s.kind = LinkFaultKind::kCorrupt;
+    s.loss_rate = cfg.corruption_loss_rate;
+    s.start = seconds_to_sim(rng.uniform(0.0, 30.0));
+    s.duration = seconds_to_sim(rng.uniform(5.0, 40.0));
+    pf.link_faults.push_back(s);
+  }
+  return pf;
+}
+
+LinkFaultInjector::LinkFaultInjector(net::Network& network,
+                                     std::vector<LinkFaultSpec> specs,
+                                     util::Rng rng)
+    : rng_(std::make_shared<util::Rng>(std::move(rng))),
+      dropped_(std::make_shared<std::uint64_t>(0)) {
+  std::map<std::size_t, std::vector<LinkFaultSpec>> by_link;
+  for (auto& spec : specs) {
+    RV_CHECK_LT(spec.link_index, network.link_count());
+    RV_CHECK_GE(spec.start, 0);
+    RV_CHECK_GT(spec.duration, 0);
+    by_link[spec.link_index].push_back(spec);
+  }
+  for (auto& [index, link_specs] : by_link) {
+    net::Link& link = network.link(index);
+    auto filter = [rng = rng_, dropped = dropped_,
+                   specs = std::move(link_specs)](const net::Packet&,
+                                                  SimTime now) {
+      for (const auto& s : specs) {
+        if (now < s.start || now >= s.start + s.duration) continue;
+        if (s.kind == LinkFaultKind::kDown ||
+            rng->bernoulli(s.loss_rate)) {
+          ++*dropped;
+          return true;
+        }
+      }
+      return false;
+    };
+    link.direction_from(link.a()).set_fault_filter(filter);
+    link.direction_from(link.b()).set_fault_filter(filter);
+  }
+}
+
+}  // namespace rv::faults

@@ -1,0 +1,69 @@
+// Link-level fault injection: blackhole (down) and corruption-burst faults
+// installed on a Network's links via LinkDirection::set_fault_filter.
+//
+// Faults are specified as time windows against the play's simulation clock.
+// All stochastic decisions (corruption coin flips) come from the Rng handed
+// in, so a play's fault behaviour is bit-reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "faults/config.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace rv::faults {
+
+enum class LinkFaultKind {
+  kDown,     // blackhole: every packet on the link is dropped
+  kCorrupt,  // corruption burst: packets dropped with `loss_rate`
+};
+
+struct LinkFaultSpec {
+  std::size_t link_index = 0;  // index into net::Network::link()
+  LinkFaultKind kind = LinkFaultKind::kDown;
+  SimTime start = 0;
+  SimTime duration = 0;
+  double loss_rate = 0.0;  // kCorrupt only
+};
+
+// The faults drawn for one play: fed to the tracer's run_single.
+struct PlayFaults {
+  // Server site inside an outage window: its access link is blackholed for
+  // the whole play, so the client's retry ladder fails mechanistically.
+  bool server_unreachable = false;
+  // RTSP daemon overloaded: responses stall until this sim time (0 = none).
+  SimTime overload_stall_until = 0;
+  std::vector<LinkFaultSpec> link_faults;
+
+  bool any() const {
+    return server_unreachable || overload_stall_until > 0 ||
+           !link_faults.empty();
+  }
+};
+
+// Draws the per-play stochastic faults (overload, link flap, corruption
+// burst) from `cfg`'s probabilities. Consumes rng draws only when called, so
+// disabled fault configs leave a play's random stream untouched.
+PlayFaults draw_play_faults(const FaultConfig& cfg, std::size_t link_count,
+                            util::Rng& rng);
+
+// Installs fault filters for `specs` on both directions of the referenced
+// links. The filters share state owned through shared_ptrs, so they stay
+// valid for the network's lifetime even if the injector dies first.
+class LinkFaultInjector {
+ public:
+  LinkFaultInjector(net::Network& network, std::vector<LinkFaultSpec> specs,
+                    util::Rng rng);
+
+  // Packets eaten by injected faults so far (all links, both directions).
+  std::uint64_t packets_dropped() const { return *dropped_; }
+
+ private:
+  std::shared_ptr<util::Rng> rng_;
+  std::shared_ptr<std::uint64_t> dropped_;
+};
+
+}  // namespace rv::faults

@@ -1,0 +1,103 @@
+#include "faults/schedule.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rv::faults {
+
+OutageSchedule::OutageSchedule(std::vector<OutageWindow> windows,
+                               SimTime horizon)
+    : windows_(std::move(windows)), horizon_(horizon) {
+  RV_CHECK_GT(horizon_, 0);
+  SimTime prev_end = 0;
+  for (const auto& w : windows_) {
+    RV_CHECK_GE(w.start, prev_end);
+    RV_CHECK_GT(w.end, w.start);
+    RV_CHECK_LE(w.end, horizon_);
+    prev_end = w.end;
+  }
+}
+
+bool OutageSchedule::active_at(SimTime t) const {
+  // First window starting after t; the one before it is the only candidate.
+  auto it = std::upper_bound(
+      windows_.begin(), windows_.end(), t,
+      [](SimTime value, const OutageWindow& w) { return value < w.start; });
+  if (it == windows_.begin()) return false;
+  --it;
+  return t < it->end;
+}
+
+double OutageSchedule::outage_fraction() const {
+  if (horizon_ <= 0) return 0.0;
+  SimTime total = 0;
+  for (const auto& w : windows_) total += w.duration();
+  return static_cast<double>(total) / static_cast<double>(horizon_);
+}
+
+OutageSchedule make_outage_schedule(util::Rng& rng, SimTime horizon,
+                                    double target_fraction,
+                                    SimTime mean_outage) {
+  RV_CHECK_GT(horizon, 0);
+  RV_CHECK_GT(mean_outage, 0);
+  const double fraction = std::clamp(target_fraction, 0.0, 0.95);
+  const SimTime down_budget = seconds_to_sim(fraction * to_seconds(horizon));
+  if (down_budget <= 0) return OutageSchedule({}, horizon);
+
+  // Draw window durations until the budget is spent; trim the last so the
+  // total is exact. A floor keeps degenerate slivers out of the schedule.
+  const SimTime min_window = std::max<SimTime>(sec(1), down_budget / 1000);
+  std::vector<SimTime> durations;
+  SimTime total = 0;
+  while (total < down_budget) {
+    SimTime d = seconds_to_sim(rng.exponential(to_seconds(mean_outage)));
+    d = std::max(d, min_window);
+    if (total + d >= down_budget) {
+      d = down_budget - total;
+      if (d > 0) durations.push_back(d);
+      total = down_budget;
+      break;
+    }
+    durations.push_back(d);
+    total += d;
+  }
+  if (durations.empty()) return OutageSchedule({}, horizon);
+
+  // Distribute the up-time as k+1 gaps with exponential proportions
+  // (memoryless placement), then lay windows down in order.
+  std::vector<double> gap_weights(durations.size() + 1);
+  double weight_sum = 0.0;
+  for (auto& g : gap_weights) {
+    g = rng.exponential(1.0) + 1e-9;
+    weight_sum += g;
+  }
+  const SimTime up_budget = horizon - down_budget;
+  std::vector<OutageWindow> windows;
+  windows.reserve(durations.size());
+  SimTime cursor = 0;
+  for (std::size_t i = 0; i < durations.size(); ++i) {
+    cursor += seconds_to_sim(to_seconds(up_budget) * gap_weights[i] /
+                             weight_sum);
+    OutageWindow w;
+    w.start = std::min(cursor, horizon - durations[i]);
+    w.end = w.start + durations[i];
+    cursor = w.end;
+    windows.push_back(w);
+  }
+  return OutageSchedule(std::move(windows), horizon);
+}
+
+SiteOutageTable::SiteOutageTable(const FaultConfig& cfg,
+                                 std::span<const double> site_targets) {
+  util::Rng table_rng(cfg.seed ^ util::stable_hash("site-outage-table"));
+  sites_.reserve(site_targets.size());
+  for (std::size_t i = 0; i < site_targets.size(); ++i) {
+    util::Rng site_rng = table_rng.fork(static_cast<std::uint64_t>(i));
+    sites_.push_back(make_outage_schedule(
+        site_rng, cfg.campaign_duration,
+        site_targets[i] * cfg.outage_scale, cfg.mean_outage_duration));
+  }
+}
+
+}  // namespace rv::faults

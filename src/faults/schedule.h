@@ -1,0 +1,71 @@
+// Outage schedules: when a server site is down over the campaign.
+//
+// A schedule is a sorted list of non-overlapping [start, end) windows inside
+// [0, horizon). Construction is exact-fraction: the summed window time equals
+// the calibration target to within integer rounding, so the empirical
+// unavailability of a study that samples access times evenly across the
+// campaign converges on the Fig 10 rate without Bernoulli noise.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "faults/config.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace rv::faults {
+
+struct OutageWindow {
+  SimTime start = 0;
+  SimTime end = 0;  // exclusive
+
+  SimTime duration() const { return end - start; }
+};
+
+class OutageSchedule {
+ public:
+  OutageSchedule() = default;
+  // Windows must be sorted by start and pairwise disjoint (checked).
+  OutageSchedule(std::vector<OutageWindow> windows, SimTime horizon);
+
+  bool active_at(SimTime t) const;
+  const std::vector<OutageWindow>& windows() const { return windows_; }
+  SimTime horizon() const { return horizon_; }
+  // Fraction of the horizon covered by outage windows.
+  double outage_fraction() const;
+
+ private:
+  std::vector<OutageWindow> windows_;
+  SimTime horizon_ = 0;
+};
+
+// Builds a schedule whose windows cover exactly `target_fraction` of
+// [0, horizon). Window durations are drawn exponentially around
+// `mean_outage` (the last one trimmed to hit the target exactly); the gaps
+// between windows are drawn as normalised exponentials so placement is
+// memoryless. Deterministic in `rng`. target_fraction is clamped to
+// [0, 0.95].
+OutageSchedule make_outage_schedule(util::Rng& rng, SimTime horizon,
+                                    double target_fraction,
+                                    SimTime mean_outage);
+
+// Per-site outage schedules for a whole campaign, calibrated so site i is
+// down for `site_targets[i] * cfg.outage_scale` of the campaign.
+class SiteOutageTable {
+ public:
+  SiteOutageTable() = default;
+  SiteOutageTable(const FaultConfig& cfg, std::span<const double> site_targets);
+
+  std::size_t size() const { return sites_.size(); }
+  const OutageSchedule& site(std::size_t i) const { return sites_.at(i); }
+  bool unavailable_at(std::size_t site, SimTime campaign_time) const {
+    return sites_.at(site).active_at(campaign_time);
+  }
+
+ private:
+  std::vector<OutageSchedule> sites_;
+};
+
+}  // namespace rv::faults

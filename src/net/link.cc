@@ -22,6 +22,11 @@ LinkDirection::LinkDirection(sim::Simulator& sim, BitsPerSec rate,
 
 void LinkDirection::send(Packet packet) {
   RV_CHECK_GT(packet.size_bytes, 0);
+  if (fault_ != nullptr && fault_(packet, sim_.now())) {
+    ++stats_.packets_faulted;
+    ++stats_.packets_dropped;
+    return;
+  }
   if (busy_) {
     // RED drops probabilistically before the queue is full; drop-tail (and
     // RED's hard limit) drop on overflow.

@@ -23,8 +23,14 @@ struct LinkStats {
   std::uint64_t packets_sent = 0;
   std::uint64_t packets_dropped = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t packets_faulted = 0;  // dropped by an injected fault
   SimTime busy_time = 0;  // total serialisation time
 };
+
+// Decides whether an injected fault eats this packet *now* (link down,
+// corruption burst). Returns true to drop. Installed per direction by
+// faults::LinkFaultInjector; null means the link is healthy.
+using FaultFilter = std::function<bool(const Packet& packet, SimTime now)>;
 
 // One direction of a link. Owned by Link.
 class LinkDirection {
@@ -39,6 +45,9 @@ class LinkDirection {
   void set_deliver(std::function<void(Packet)> deliver) {
     deliver_ = std::move(deliver);
   }
+
+  // Fault-injection hook, consulted before queueing/transmission.
+  void set_fault_filter(FaultFilter filter) { fault_ = std::move(filter); }
 
   BitsPerSec rate() const { return rate_; }
   SimTime prop_delay() const { return prop_delay_; }
@@ -59,6 +68,7 @@ class LinkDirection {
   std::int64_t queued_bytes_ = 0;
   bool busy_ = false;
   std::function<void(Packet)> deliver_;
+  FaultFilter fault_;
   LinkStats stats_;
 };
 

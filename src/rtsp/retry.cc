@@ -1,0 +1,24 @@
+#include "rtsp/retry.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace rv::rtsp {
+
+RetryState::RetryState(RetryPolicy policy) : policy_(policy) {
+  RV_CHECK_GE(policy_.max_attempts, 1);
+  RV_CHECK_GT(policy_.initial_backoff, 0);
+  RV_CHECK_GE(policy_.max_backoff, policy_.initial_backoff);
+  RV_CHECK_GE(policy_.multiplier, 1.0);
+}
+
+std::optional<SimTime> RetryState::next_backoff() {
+  ++attempts_used_;
+  if (attempts_used_ >= policy_.max_attempts) return std::nullopt;
+  double backoff = static_cast<double>(policy_.initial_backoff);
+  for (int i = 1; i < attempts_used_; ++i) backoff *= policy_.multiplier;
+  return std::min(static_cast<SimTime>(backoff), policy_.max_backoff);
+}
+
+}  // namespace rv::rtsp

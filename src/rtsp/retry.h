@@ -1,0 +1,48 @@
+// Bounded exponential backoff for RTSP connect/request attempts.
+//
+// RealPlayer's auto-configuration does not give up on the first silent
+// timeout: it retries the current transport plan a few times with growing
+// delays, then falls down the UDP → TCP → HTTP ladder. RetryState is the
+// small deterministic state machine behind that — pure arithmetic, no
+// clock, so it is trivially unit-testable.
+#pragma once
+
+#include <optional>
+
+#include "util/units.h"
+
+namespace rv::rtsp {
+
+struct RetryPolicy {
+  int max_attempts = 3;                // total attempts per transport plan
+  SimTime initial_backoff = msec(500); // delay before the 2nd attempt
+  SimTime max_backoff = sec(8);
+  double multiplier = 2.0;
+};
+
+class RetryState {
+ public:
+  RetryState() : RetryState(RetryPolicy{}) {}
+  explicit RetryState(RetryPolicy policy);
+
+  // Records a failed attempt. Returns the backoff to wait before the next
+  // attempt, or nullopt when the attempt budget is exhausted (give up /
+  // move to the next transport plan).
+  std::optional<SimTime> next_backoff();
+
+  // Attempts failed so far (the first attempt is not counted until it
+  // fails).
+  int attempts_used() const { return attempts_used_; }
+  bool exhausted() const { return attempts_used_ >= policy_.max_attempts; }
+
+  // Fresh budget for a new transport plan.
+  void reset() { attempts_used_ = 0; }
+
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+  int attempts_used_ = 0;
+};
+
+}  // namespace rv::rtsp

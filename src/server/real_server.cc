@@ -136,6 +136,12 @@ void RealServerApp::on_http_chunk(
   transport::TcpConnection& conn = *it->second;
   const auto* text = dynamic_cast<const media::RtspTextMeta*>(meta.get());
   if (text == nullptr) return;
+  // HTTP cloaking: a client behind a blocked RTSP port speaks RTSP on the
+  // web port. An RTSP request line never parses as HTTP (and vice versa).
+  if (const auto rtsp_req = rtsp::parse_request(text->text)) {
+    promote_http_to_rtsp(id, *rtsp_req);
+    return;
+  }
   const auto request = rtsp::parse_http_request(text->text);
   rtsp::HttpResponse resp;
   std::uint32_t clip_id = 0;
@@ -192,7 +198,7 @@ const StreamSender* RealServerApp::last_sender() const {
   return it->second->sender.get();
 }
 
-void RealServerApp::accept_control(
+RealServerApp::SessionCtx& RealServerApp::adopt_control(
     std::unique_ptr<transport::TcpConnection> conn) {
   auto ctx = std::make_unique<SessionCtx>();
   ctx->id = next_session_id_++;
@@ -215,6 +221,24 @@ void RealServerApp::accept_control(
   });
   last_session_id_ = ctx->id;
   sessions_[ctx->id] = std::move(ctx);
+  return *raw;
+}
+
+void RealServerApp::accept_control(
+    std::unique_ptr<transport::TcpConnection> conn) {
+  adopt_control(std::move(conn));
+}
+
+void RealServerApp::promote_http_to_rtsp(std::uint64_t http_id,
+                                         const rtsp::Request& req) {
+  const auto it = http_conns_.find(http_id);
+  if (it == http_conns_.end()) return;
+  auto conn = std::move(it->second);
+  http_conns_.erase(it);
+  conn->set_on_chunk({});
+  conn->set_on_closed({});
+  SessionCtx& ctx = adopt_control(std::move(conn));
+  send_response(ctx, handle_request(ctx, req));
 }
 
 void RealServerApp::destroy_session(std::uint64_t id) {
@@ -260,6 +284,21 @@ void RealServerApp::on_control_chunk(
 
 void RealServerApp::send_response(SessionCtx& ctx,
                                   const rtsp::Response& resp) {
+  // Overloaded daemon: the request was read, but the reply waits in the
+  // admission backlog until the stall window passes.
+  if (network_.simulator().now() < config_.response_stall_until) {
+    const std::uint64_t id = ctx.id;
+    network_.simulator().schedule_at(
+        config_.response_stall_until, [this, id, resp] {
+          const auto it = sessions_.find(id);
+          if (it == sessions_.end() || !it->second->control->established() ||
+              it->second->control->closing()) {
+            return;  // the client gave up waiting
+          }
+          send_response(*it->second, resp);
+        });
+    return;
+  }
   const std::string wire = resp.serialize();
   ctx.control->send_chunk(
       static_cast<std::int64_t>(wire.size()),

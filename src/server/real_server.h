@@ -30,6 +30,10 @@ struct RealServerConfig {
   CongestionControlKind udp_control = CongestionControlKind::kAimd;
   net::Port rtsp_port = net::kRtspPort;
   net::Port http_port = 80;  // .ram metafiles (§II.A); 0 disables
+  // Overload (accept-but-stall) fault: RTSP responses are held back until
+  // this sim time — connections are accepted, the daemon just doesn't get to
+  // them. 0 means healthy.
+  SimTime response_stall_until = 0;
 };
 
 class RealServerApp {
@@ -73,8 +77,12 @@ class RealServerApp {
   void accept_http(std::unique_ptr<transport::TcpConnection> conn);
   void on_http_chunk(std::uint64_t id,
                      std::shared_ptr<const net::PayloadMeta> meta);
+  // RTSP arrived on the web port (client-side HTTP cloaking): upgrade the
+  // HTTP connection into a full RTSP session.
+  void promote_http_to_rtsp(std::uint64_t http_id, const rtsp::Request& req);
   void on_control_chunk(SessionCtx& ctx,
                         std::shared_ptr<const net::PayloadMeta> meta);
+  SessionCtx& adopt_control(std::unique_ptr<transport::TcpConnection> conn);
   rtsp::Response handle_request(SessionCtx& ctx, const rtsp::Request& req);
   void send_response(SessionCtx& ctx, const rtsp::Response& resp);
   void on_data_datagram(SessionCtx& ctx, net::Endpoint from,

@@ -11,7 +11,7 @@ namespace rv::study {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x52565354;  // "RVST"
-constexpr std::uint32_t kVersion = 6;
+constexpr std::uint32_t kVersion = 7;
 
 // --- primitive IO ---------------------------------------------------------
 
@@ -46,6 +46,8 @@ void put_stats(std::ostream& os, const client::ClipStats& s) {
   put(os, s.played_any_frame);
   put(os, s.protocol);
   put(os, s.fell_back_to_tcp);
+  put(os, s.fell_back_to_http);
+  put(os, s.rtsp_retries);
   put(os, s.encoded_bandwidth);
   put(os, s.encoded_fps);
   put(os, s.measured_bandwidth);
@@ -69,6 +71,7 @@ void put_stats(std::ostream& os, const client::ClipStats& s) {
 bool get_stats(std::istream& is, client::ClipStats& s) {
   bool ok = get(is, s.session_established) && get(is, s.played_any_frame) &&
             get(is, s.protocol) && get(is, s.fell_back_to_tcp) &&
+            get(is, s.fell_back_to_http) && get(is, s.rtsp_retries) &&
             get(is, s.encoded_bandwidth) && get(is, s.encoded_fps) &&
             get(is, s.measured_bandwidth) && get(is, s.measured_fps) &&
             get(is, s.jitter_ms) && get(is, s.frames_played) &&
@@ -108,7 +111,19 @@ std::uint64_t config_fingerprint(const StudyConfig& config) {
       config.tracer.path.server_access_cap, "|",
       static_cast<int>(config.tracer.path.queue_policy), "|",
       config.tracer.adaptive_packet_size, "|", config.tracer.live_content,
-      "|", config.tracer.tcp_sack);
+      "|", config.tracer.tcp_sack, "|", config.tracer.faults.enabled, "|",
+      config.tracer.faults.seed, "|",
+      config.tracer.faults.mechanistic_unavailability, "|",
+      to_seconds(config.tracer.faults.campaign_duration), "|",
+      to_seconds(config.tracer.faults.mean_outage_duration), "|",
+      config.tracer.faults.outage_scale, "|",
+      config.tracer.faults.overload_probability, "|",
+      config.tracer.faults.overload_stall_lo_sec, "|",
+      config.tracer.faults.overload_stall_hi_sec, "|",
+      config.tracer.faults.link_down_probability, "|",
+      config.tracer.faults.mean_link_down_sec, "|",
+      config.tracer.faults.corruption_probability, "|",
+      config.tracer.faults.corruption_loss_rate);
   return util::stable_hash(dump);
 }
 

@@ -21,6 +21,11 @@ media::Catalog make_catalog(const StudyConfig& config) {
 }
 
 StudyResult run_study(const StudyConfig& config) {
+  RV_CHECK(config.play_scale > 0.0 && config.play_scale <= 1.0)
+      << "play_scale must be in (0, 1], got " << config.play_scale;
+  RV_CHECK_GE(config.threads, 0)
+      << "threads must be >= 0 (0 = hardware concurrency)";
+
   StudyResult result;
   result.users = world::generate_population(config.population);
   if (config.play_scale < 1.0) {
@@ -34,7 +39,13 @@ StudyResult run_study(const StudyConfig& config) {
 
   const media::Catalog catalog = make_catalog(config);
   const world::RegionGraph graph;
-  const tracer::RealTracer tracer(catalog, graph, config.tracer);
+  tracer::TracerConfig tracer_cfg = config.tracer;
+  if (tracer_cfg.faults.seed == 0) {
+    // Tie the fault universe to the study seed unless pinned explicitly.
+    tracer_cfg.faults.seed = config.seed;
+  }
+  tracer::RealTracer tracer(catalog, graph, tracer_cfg);
+  tracer.plan_access_times(result.users);
 
   // One slot per user keeps the output order (and thus the result)
   // independent of thread scheduling.

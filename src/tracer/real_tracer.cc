@@ -34,10 +34,46 @@ TraceRecord base_record(const world::UserProfile& user,
 
 }  // namespace
 
+RealTracer::RealTracer(const media::Catalog& catalog,
+                       const world::RegionGraph& graph,
+                       const TracerConfig& config)
+    : catalog_(catalog), graph_(graph), config_(config) {
+  if (config_.faults.enabled && config_.faults.mechanistic_unavailability) {
+    // Calibrate each site's outage time budget to its Fig 10 rate; the
+    // per-access unavailable fraction then *emerges* from where accesses
+    // land on the campaign timeline.
+    std::vector<double> targets;
+    for (const auto& site : world::server_sites()) {
+      targets.push_back(site.unavailability);
+    }
+    outages_ = faults::SiteOutageTable(config_.faults, targets);
+  }
+}
+
+void RealTracer::plan_access_times(
+    const std::vector<world::UserProfile>& users) {
+  if (!config_.faults.enabled || !config_.faults.mechanistic_unavailability) {
+    return;
+  }
+  site_access_total_.assign(world::server_sites().size(), 0);
+  user_site_base_.clear();
+  for (const auto& user : users) {
+    if (user.rtsp_blocked) continue;
+    const int plays =
+        std::min<int>(user.clips_to_play, static_cast<int>(catalog_.size()));
+    user_site_base_[user.id] = site_access_total_;
+    for (int i = 0; i < plays; ++i) {
+      const auto idx = static_cast<std::size_t>(i) % catalog_.size();
+      ++site_access_total_[media::Catalog::site_of(catalog_.clip(idx).id())];
+    }
+  }
+}
+
 TraceRecord RealTracer::run_single(const world::UserProfile& user,
                                    std::size_t playlist_index,
                                    std::uint64_t play_seed,
-                                   bool force_tcp) const {
+                                   bool force_tcp,
+                                   const faults::PlayFaults* play_faults) const {
   TraceRecord rec = base_record(user, catalog_, playlist_index);
   const auto& site = world::server_sites().at(rec.site);
   util::Rng rng(play_seed);
@@ -57,6 +93,9 @@ TraceRecord RealTracer::run_single(const world::UserProfile& user,
   server_cfg.sender.live = config_.live_content;
   server_cfg.tcp.sack_enabled = config_.tcp_sack;
   server_cfg.sender.preroll_media_seconds = config_.preroll_media_seconds;
+  if (play_faults != nullptr && play_faults->overload_stall_until > 0) {
+    server_cfg.response_stall_until = play_faults->overload_stall_until;
+  }
   server::RealServerApp server(*path.network, path.server_node, catalog_,
                                server_cfg, rng.fork("server"));
 
@@ -77,6 +116,27 @@ TraceRecord RealTracer::run_single(const world::UserProfile& user,
                                {path.server_node, net::kRtspPort},
                                catalog_.clip(playlist_index).id(), catalog_,
                                player_cfg);
+
+  // Link faults last, so legacy plays consume an identical rng stream.
+  std::unique_ptr<faults::LinkFaultInjector> injector;
+  if (play_faults != nullptr) {
+    std::vector<faults::LinkFaultSpec> specs = play_faults->link_faults;
+    if (play_faults->server_unreachable) {
+      // Site outage: its access segment blackholes for the whole play; the
+      // client's retry ladder exhausts and reports the clip unavailable.
+      faults::LinkFaultSpec down;
+      down.link_index = world::PlayPath::kServerAccess;
+      down.kind = faults::LinkFaultKind::kDown;
+      down.start = 0;
+      down.duration = config_.play_horizon + sec(1);
+      specs.push_back(down);
+    }
+    if (!specs.empty()) {
+      injector = std::make_unique<faults::LinkFaultInjector>(
+          *path.network, std::move(specs), rng.fork("link-faults"));
+    }
+  }
+
   player.start();
   sim.run_until(config_.play_horizon);
 
@@ -103,6 +163,29 @@ std::vector<TraceRecord> RealTracer::run_user(
 
   RaterProfile rater = make_rater(user_rng);
 
+  // Mechanistic unavailability: this user's running access count per site
+  // (their rank within a site advances with each visit).
+  const bool mechanistic =
+      config_.faults.enabled && config_.faults.mechanistic_unavailability;
+  std::vector<int> site_seen;
+  std::vector<int> site_mine;
+  const std::vector<int>* site_base = nullptr;
+  if (mechanistic) {
+    site_seen.assign(world::server_sites().size(), 0);
+    const auto it = user_site_base_.find(user.id);
+    if (it != user_site_base_.end()) {
+      site_base = &it->second;
+    } else {
+      // No population plan: fall back to systematic sampling over this
+      // user's own accesses to each site.
+      site_mine.assign(world::server_sites().size(), 0);
+      for (int i = 0; i < plays; ++i) {
+        const auto idx = static_cast<std::size_t>(i) % catalog_.size();
+        ++site_mine[media::Catalog::site_of(catalog_.clip(idx).id())];
+      }
+    }
+  }
+
   for (int i = 0; i < plays; ++i) {
     const auto playlist_index =
         static_cast<std::size_t>(i) % catalog_.size();
@@ -118,15 +201,46 @@ std::vector<TraceRecord> RealTracer::run_user(
     }
 
     const auto& site = world::server_sites().at(rec.site);
-    if (play_rng.bernoulli(site.unavailability)) {
+    faults::PlayFaults pf;
+    if (mechanistic) {
+      // Access time over the measurement campaign. With a population plan,
+      // the k-th access to a site (across all users, population order)
+      // lands at grid point (k + 1/2)/n of the campaign: the site's
+      // accesses sample its timeline uniformly, so the empirical
+      // unavailable fraction tracks the schedule's outage fraction to well
+      // under a point. Without a plan, each user spreads their own m
+      // accesses to the site systematically, offset by a golden-ratio
+      // slot — noisier, but still far tighter than independent draws.
+      double pos;
+      if (site_base != nullptr) {
+        const int rank = (*site_base)[rec.site] + site_seen[rec.site];
+        pos = (rank + 0.5) / site_access_total_[rec.site];
+      } else {
+        constexpr double kGolden = 0.6180339887498949;
+        const double slot = std::fmod(
+            static_cast<double>(user.id + 1) * kGolden, 1.0);
+        pos = (site_seen[rec.site] + slot) / site_mine[rec.site];
+      }
+      ++site_seen[rec.site];
+      const SimTime access_time = seconds_to_sim(
+          to_seconds(config_.faults.campaign_duration) * pos);
+      pf.server_unreachable = outages_.unavailable_at(rec.site, access_time);
+    } else if (play_rng.bernoulli(site.unavailability)) {
       rec.available = false;  // Fig 10: clip unreachable this time
       records.push_back(std::move(rec));
       continue;
     }
+    if (config_.faults.enabled) {
+      const faults::PlayFaults drawn = faults::draw_play_faults(
+          config_.faults, world::PlayPath::kLinkCount, play_rng);
+      pf.overload_stall_until = drawn.overload_stall_until;
+      pf.link_faults = drawn.link_faults;
+    }
 
     const bool force_tcp =
         play_rng.bernoulli(config_.direct_tcp_probability);
-    rec = run_single(user, playlist_index, play_rng.next_u64(), force_tcp);
+    rec = run_single(user, playlist_index, play_rng.next_u64(), force_tcp,
+                     config_.faults.enabled ? &pf : nullptr);
 
     const bool rate_this =
         std::binary_search(to_rate.begin(), to_rate.end(),

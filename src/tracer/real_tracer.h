@@ -3,8 +3,12 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
+#include "faults/config.h"
+#include "faults/injector.h"
+#include "faults/schedule.h"
 #include "media/catalog.h"
 #include "server/real_server.h"
 #include "tracer/record.h"
@@ -33,28 +37,53 @@ struct TracerConfig {
   // RFC 2018 SACK on both TCP endpoints (ablation; 2001 stacks were mixed).
   bool tcp_sack = false;
   double preroll_media_seconds = 8.0;
+  // Deterministic fault injection (outage schedules, overload stalls, link
+  // faults). Off by default: the legacy Bernoulli availability model runs.
+  faults::FaultConfig faults;
 };
 
 class RealTracer {
  public:
   RealTracer(const media::Catalog& catalog, const world::RegionGraph& graph,
-             const TracerConfig& config)
-      : catalog_(catalog), graph_(graph), config_(config) {}
+             const TracerConfig& config);
 
   // Runs the user's whole playlist; deterministic in (user, study_seed).
   std::vector<TraceRecord> run_user(const world::UserProfile& user,
                                     std::uint64_t study_seed) const;
 
+  // Mechanistic unavailability samples each play's access time on the
+  // campaign timeline. Given the (already play-scaled) population, this
+  // precomputes each site's total access count and each user's starting
+  // rank into it, so the site's accesses land on a uniform grid over the
+  // campaign — the per-site empirical unavailable fraction then matches
+  // the schedule's outage fraction to well under a point. Call before
+  // run_user (the study driver does); without a plan, run_user falls back
+  // to per-user systematic sampling, which is noisier. No-op unless
+  // mechanistic unavailability is enabled.
+  void plan_access_times(const std::vector<world::UserProfile>& users);
+
   // Runs a single play and returns its record (used by Fig 1 and the
-  // ablation benches). `udp_blocked`/`force_tcp` override the user profile.
+  // ablation benches). `udp_blocked`/`force_tcp` override the user profile;
+  // `play_faults` (optional) injects this play's faults.
   TraceRecord run_single(const world::UserProfile& user,
                          std::size_t playlist_index, std::uint64_t play_seed,
-                         bool force_tcp = false) const;
+                         bool force_tcp = false,
+                         const faults::PlayFaults* play_faults = nullptr) const;
+
+  // The per-site outage schedules (empty unless mechanistic unavailability
+  // is enabled). Exposed for calibration tests and benches.
+  const faults::SiteOutageTable& outages() const { return outages_; }
 
  private:
   const media::Catalog& catalog_;
   const world::RegionGraph& graph_;
   TracerConfig config_;
+  faults::SiteOutageTable outages_;
+  // Access-time plan: per-site campaign access totals, and each user's
+  // per-site starting rank (population order). Empty until
+  // plan_access_times runs.
+  std::vector<int> site_access_total_;
+  std::unordered_map<int, std::vector<int>> user_site_base_;
 };
 
 }  // namespace rv::tracer

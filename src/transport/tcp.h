@@ -91,6 +91,11 @@ class TcpConnection : public PacketSink {
 
   bool established() const { return state_ == State::kEstablished; }
   bool closed() const { return state_ == State::kClosed; }
+  // True once a close is underway (FIN pending/sent) or done: writes are no
+  // longer legal even though the state may still read as established.
+  bool closing() const {
+    return fin_pending_ || fin_sent_ || state_ == State::kClosed;
+  }
   // Application bytes accepted but not yet cumulatively acknowledged.
   std::int64_t backlog_bytes() const {
     return static_cast<std::int64_t>(app_write_offset_ - snd_una_);

@@ -136,6 +136,8 @@ PlayPath PathBuilder::build(sim::Simulator& sim, const UserProfile& user,
   add_cross(server, wan_b, srv_capacity, srv_load, /*episodes=*/false);
 
   net.compute_routes();
+  RV_CHECK_EQ(net.link_count(), PlayPath::kLinkCount)
+      << "PlayPath link layout changed; update PlayPath::LinkIndex";
   return path;
 }
 

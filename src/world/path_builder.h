@@ -22,6 +22,16 @@
 namespace rv::world {
 
 struct PlayPath {
+  // PathBuilder's fixed link layout: index into network->link(). The fault
+  // injector addresses segments through these (checked in build()).
+  enum LinkIndex : std::size_t {
+    kAccessLink = 0,    // client ↔ ISP POP
+    kIspUplink = 1,     // ISP ↔ regional WAN
+    kWanCorridor = 2,   // wide-area corridor
+    kServerAccess = 3,  // WAN ↔ server site
+    kLinkCount = 4,
+  };
+
   std::unique_ptr<net::Network> network;
   net::NodeId client_node = 0;
   net::NodeId server_node = 0;

@@ -100,6 +100,84 @@ TEST(Live, EndToEndLiveSessionPlays) {
   EXPECT_GT(rec.stats.preroll_seconds, cfg.preroll_media_seconds * 0.8);
 }
 
+TEST(Live, MidPlayWanOutageCausesRebuffering) {
+  study::StudyConfig study_cfg;
+  const media::Catalog catalog = study::make_catalog(study_cfg);
+  const world::RegionGraph graph;
+  tracer::TracerConfig cfg;
+  cfg.live_content = true;
+  cfg.path.episode_probability = 0.0;
+  const tracer::RealTracer tracer(catalog, graph, cfg);
+
+  world::UserProfile user;
+  user.country = "US";
+  user.us_state = "MA";
+  user.region = world::Region::kUsEast;
+  user.group = world::UserRegionGroup::kUsCanada;
+  user.connection = world::ConnectionClass::kDslCable;
+  user.pc_class = "Pentium III / 256-512MB";
+  user.isp_load_lo = 0.2;
+  user.isp_load_hi = 0.4;
+  user.seed = 33;
+
+  // A live buffer only holds the pre-roll target of media: a WAN blackhole
+  // longer than that must drain it and stall playback, where the same seed
+  // without the fault plays clean.
+  faults::PlayFaults pf;
+  faults::LinkFaultSpec outage;
+  outage.link_index = world::PlayPath::kWanCorridor;
+  outage.kind = faults::LinkFaultKind::kDown;
+  outage.start = sec(25);
+  outage.duration = sec(12);
+  pf.link_faults.push_back(outage);
+
+  const auto clean = tracer.run_single(user, 0, 4242);
+  const auto faulted = tracer.run_single(user, 0, 4242, false, &pf);
+  ASSERT_TRUE(clean.stats.played_any_frame);
+  ASSERT_TRUE(faulted.stats.played_any_frame);
+  EXPECT_GT(faulted.stats.rebuffer_seconds, clean.stats.rebuffer_seconds);
+  EXPECT_LT(faulted.stats.frames_played, clean.stats.frames_played);
+}
+
+TEST(Live, LiveSessionSurvivesShortOutage) {
+  study::StudyConfig study_cfg;
+  const media::Catalog catalog = study::make_catalog(study_cfg);
+  const world::RegionGraph graph;
+  tracer::TracerConfig cfg;
+  cfg.live_content = true;
+  cfg.path.episode_probability = 0.0;
+  const tracer::RealTracer tracer(catalog, graph, cfg);
+
+  world::UserProfile user;
+  user.country = "US";
+  user.us_state = "MA";
+  user.region = world::Region::kUsEast;
+  user.group = world::UserRegionGroup::kUsCanada;
+  user.connection = world::ConnectionClass::kDslCable;
+  user.pc_class = "Pentium III / 256-512MB";
+  user.isp_load_lo = 0.2;
+  user.isp_load_hi = 0.4;
+  user.seed = 34;
+
+  faults::PlayFaults pf;
+  faults::LinkFaultSpec outage;
+  outage.link_index = world::PlayPath::kWanCorridor;
+  outage.kind = faults::LinkFaultKind::kDown;
+  outage.start = sec(22);
+  outage.duration = sec(5);
+  pf.link_faults.push_back(outage);
+
+  const auto clean = tracer.run_single(user, 0, 4243);
+  const auto faulted = tracer.run_single(user, 0, 4243, false, &pf);
+  ASSERT_TRUE(clean.stats.played_any_frame);
+  // A 5 s hole is survivable: the session stays up and keeps playing after
+  // the link returns, losing only a slice of the watch window.
+  ASSERT_TRUE(faulted.available);
+  ASSERT_TRUE(faulted.stats.played_any_frame);
+  EXPECT_GT(faulted.stats.measured_fps, 1.0);
+  EXPECT_GT(faulted.stats.frames_played, clean.stats.frames_played / 2);
+}
+
 TEST(Live, LiveHasLongerStartupThanPrerecorded) {
   study::StudyConfig study_cfg;
   const media::Catalog catalog = study::make_catalog(study_cfg);

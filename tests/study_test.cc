@@ -7,6 +7,7 @@
 #include "study/cache.h"
 #include "study/figures.h"
 #include "study/study.h"
+#include "util/check.h"
 
 namespace rv::study {
 namespace {
@@ -181,6 +182,54 @@ TEST(Study, FingerprintSensitiveToKnobs) {
   EXPECT_NE(config_fingerprint(base), config_fingerprint(control));
   EXPECT_NE(config_fingerprint(base), config_fingerprint(scale));
   EXPECT_EQ(config_fingerprint(base), config_fingerprint(small_config()));
+}
+
+TEST(Study, RejectsInvalidPlayScale) {
+  StudyConfig zero;
+  zero.play_scale = 0.0;
+  EXPECT_THROW(run_study(zero), util::CheckError);
+  StudyConfig negative;
+  negative.play_scale = -0.5;
+  EXPECT_THROW(run_study(negative), util::CheckError);
+  StudyConfig too_big;
+  too_big.play_scale = 1.5;
+  EXPECT_THROW(run_study(too_big), util::CheckError);
+}
+
+TEST(Study, RejectsNegativeThreads) {
+  StudyConfig config;
+  config.play_scale = 0.02;
+  config.threads = -1;
+  EXPECT_THROW(run_study(config), util::CheckError);
+}
+
+TEST(Study, FingerprintSensitiveToFaultKnobs) {
+  const StudyConfig base = small_config();
+  StudyConfig enabled = base;
+  enabled.tracer.faults.enabled = true;
+  StudyConfig scaled = base;
+  scaled.tracer.faults.enabled = true;
+  scaled.tracer.faults.outage_scale = 2.0;
+  EXPECT_NE(config_fingerprint(base), config_fingerprint(enabled));
+  EXPECT_NE(config_fingerprint(enabled), config_fingerprint(scaled));
+}
+
+TEST(Study, MechanisticUnavailabilityModeRuns) {
+  StudyConfig config;
+  config.play_scale = 0.03;
+  config.tracer.faults.enabled = true;
+  config.tracer.faults.mechanistic_unavailability = true;
+  const auto result = run_study(config);
+  std::size_t unavailable = 0;
+  std::size_t played = 0;
+  for (const auto* r : result.accesses()) {
+    unavailable += !r->available;
+    played += r->analyzable();
+  }
+  // Outage windows must both bite (some accesses land inside one) and spare
+  // the bulk of the campaign.
+  EXPECT_GT(unavailable, 0u);
+  EXPECT_GT(played, 20u);
 }
 
 TEST(Study, DeterministicAcrossRuns) {

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "faults/injector.h"
 #include "net/cross_traffic.h"
 #include "net/network.h"
 #include "sim/simulator.h"
@@ -129,6 +130,75 @@ TEST(TcpSack, FasterThanRenoUnderBurstLoss) {
   ASSERT_EQ(sack.tags.size(), 400u);
   ASSERT_EQ(reno.tags.size(), 400u);
   EXPECT_LE(sack.finished_at, reno.finished_at + sec(1));
+}
+
+TEST(TcpSack, RecoversFromInjectedCorruptionBurst) {
+  // A corruption burst from the fault injector (25% loss for 6 s on the
+  // bottleneck) punches random holes in the window; SACK must refill every
+  // one and deliver in order.
+  TcpConfig cfg;
+  cfg.sack_enabled = true;
+  Pair p(kbps(600), msec(30), 32'000);
+  faults::LinkFaultSpec burst;
+  burst.link_index = 1;  // the ra↔rb bottleneck
+  burst.kind = faults::LinkFaultKind::kCorrupt;
+  burst.start = sec(1);
+  burst.duration = sec(6);
+  burst.loss_rate = 0.25;
+  faults::LinkFaultInjector injector(*p.net_, {burst}, util::Rng(91));
+
+  const auto result = run_transfer(p, cfg, 250, sec(120));
+  ASSERT_EQ(result.tags.size(), 250u);
+  for (int i = 0; i < 250; ++i) {
+    EXPECT_EQ(result.tags[static_cast<size_t>(i)], i);
+  }
+  EXPECT_GT(injector.packets_dropped(), 0u);  // the burst really fired
+  EXPECT_GT(result.retransmits, 0u);
+}
+
+TEST(TcpSack, NoSlowerThanRenoUnderCorruptionBurst) {
+  auto run = [](bool sack_on) {
+    TcpConfig cfg;
+    cfg.sack_enabled = sack_on;
+    Pair p(kbps(800), msec(40), 40'000);
+    faults::LinkFaultSpec burst;
+    burst.link_index = 1;
+    burst.kind = faults::LinkFaultKind::kCorrupt;
+    burst.start = sec(1);
+    burst.duration = sec(8);
+    burst.loss_rate = 0.15;
+    faults::LinkFaultInjector injector(*p.net_, {burst}, util::Rng(92));
+    return run_transfer(p, cfg, 300, sec(180));
+  };
+  const auto sack = run(true);
+  const auto reno = run(false);
+  ASSERT_EQ(sack.tags.size(), 300u);
+  ASSERT_EQ(reno.tags.size(), 300u);
+  // Multi-hole windows are where SACK pays off; at worst it ties Reno.
+  EXPECT_LE(sack.finished_at, reno.finished_at + sec(2));
+}
+
+TEST(TcpSack, SurvivesBlackholeWindow) {
+  // The bottleneck goes fully dark for 5 s mid-transfer: RTO backoff rides
+  // it out and the transfer completes after the link returns.
+  TcpConfig cfg;
+  cfg.sack_enabled = true;
+  Pair p(kbps(500), msec(20), 32'000);
+  faults::LinkFaultSpec hole;
+  hole.link_index = 1;
+  hole.kind = faults::LinkFaultKind::kDown;
+  hole.start = sec(2);
+  hole.duration = sec(5);
+  faults::LinkFaultInjector injector(*p.net_, {hole}, util::Rng(93));
+
+  const auto result = run_transfer(p, cfg, 300, sec(120));
+  ASSERT_EQ(result.tags.size(), 300u);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(result.tags[static_cast<size_t>(i)], i);
+  }
+  EXPECT_GT(injector.packets_dropped(), 0u);
+  EXPECT_GT(result.timeouts, 0u);  // it really sat through RTOs
+  EXPECT_GT(result.finished_at, sec(7));
 }
 
 class TcpSackLossyPathTest : public ::testing::TestWithParam<int> {};

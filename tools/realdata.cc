@@ -221,7 +221,7 @@ int main(int argc, char** argv) {
   if (args.positional().empty() || args.has("help")) {
     std::cout << "usage: realdata <summary|fig N|slice|users|servers|"
                  "export DIR> [--scale X] [--seed N] [--threads N] "
-                 "[slice flags]\n";
+                 "[--faults [--outage-scale X]] [slice flags]\n";
     return args.has("help") ? 0 : 1;
   }
 
@@ -229,6 +229,13 @@ int main(int argc, char** argv) {
   config.play_scale = args.get_double("scale", 1.0);
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2001));
   config.threads = static_cast<int>(args.get_int("threads", 0));
+  if (args.has("faults")) {
+    // Mechanistic fault injection: per-site outage schedules instead of the
+    // Bernoulli availability model (plus any FaultConfig defaults).
+    config.tracer.faults.enabled = true;
+    config.tracer.faults.outage_scale =
+        args.get_double("outage-scale", 1.0);
+  }
   const study::StudyResult result = study::run_study_cached(config);
 
   const std::string& command = args.positional()[0];
