@@ -33,6 +33,55 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorScheduleRun);
 
+void BM_SimulatorCancelHeavy(benchmark::State& state) {
+  // Retransmission-timer pattern: nearly every scheduled timer is cancelled
+  // before it fires (an ack disarms it). Stresses cancel cost and tombstone
+  // skipping; the old kernel paid an unordered_set insert+find per cancel.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    std::vector<sim::EventId> ids;
+    ids.reserve(100);
+    for (int round = 0; round < 100; ++round) {
+      ids.clear();
+      for (int i = 0; i < 10; ++i) {
+        ids.push_back(
+            sim.schedule_at(sim.now() + 10 + i, [&fired] { ++fired; }));
+      }
+      for (int i = 0; i < 9; ++i) sim.cancel(ids[static_cast<size_t>(i)]);
+      sim.run_until(sim.now() + 20);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_SimulatorCancelHeavy);
+
+void BM_SimulatorTimerChurn(benchmark::State& state) {
+  // Steady-state churn: a fixed population of repeating timers, each firing
+  // and immediately rescheduling itself — the playout/keepalive shape. The
+  // heap stays small but every event is a pop+push; slot reuse keeps the
+  // kernel allocation-free after warmup.
+  constexpr int kTimers = 64;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    long fired = 0;
+    std::function<void(int)> tick = [&](int period) {
+      ++fired;
+      if (fired < 10000) {
+        sim.schedule_in(period, [&tick, period] { tick(period); });
+      }
+    };
+    for (int t = 0; t < kTimers; ++t) {
+      const int period = 5 + (t % 13);
+      sim.schedule_in(period, [&tick, period] { tick(period); });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_SimulatorTimerChurn);
+
 void BM_PacketForwardingChain(benchmark::State& state) {
   const auto hops = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
@@ -91,6 +140,40 @@ void BM_TcpBulkTransfer(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TcpBulkTransfer);
+
+void BM_TcpChunkedSegments(benchmark::State& state) {
+  // Many small application chunks per MSS: each TCP segment carries several
+  // chunk records (the RTP-over-TCP interleaving shape), exercising the
+  // per-packet chunk vector — inline up to 2 records after the SmallVec
+  // change — and sack bookkeeping under loss-free reordering.
+  struct Tag : net::PayloadMeta {};
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network net(sim);
+    const auto a = net.add_node("a");
+    const auto b = net.add_node("b");
+    net.add_link(a, b, mbps(10), msec(5));
+    net.compute_routes();
+    transport::TransportMux ma(net, a);
+    transport::TransportMux mb(net, b);
+    std::unique_ptr<transport::TcpConnection> accepted;
+    transport::TcpListener listener(
+        mb, 80, transport::TcpConfig{},
+        [&](std::unique_ptr<transport::TcpConnection> c) {
+          accepted = std::move(c);
+        });
+    transport::TcpConnection client(ma, transport::TcpConfig{});
+    client.set_on_established([&] {
+      for (int i = 0; i < 2000; ++i) {
+        client.send_chunk(250, std::make_shared<Tag>());
+      }
+    });
+    client.connect({b, 80});
+    sim.run_until(sec(10));
+    benchmark::DoNotOptimize(accepted->stats().bytes_delivered);
+  }
+}
+BENCHMARK(BM_TcpChunkedSegments);
 
 void BM_FrameScheduleGenerate(benchmark::State& state) {
   media::CatalogSpec spec;

@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Benchmark harness for the simulation fast path.
+
+Runs the Google-benchmark microbench binary several times, keeps the
+per-benchmark minimum (the least-noise estimator on shared/virtualised
+hardware), derives the headline metrics (ns/event, packets/sec), and
+optionally times a full `realdata summary` study run at a fixed seed,
+fingerprinting the result cache so byte-identity across kernel changes is
+checked, not assumed.
+
+Modes:
+  --update   rewrite the `after` numbers in BENCH_sim.json (preserving the
+             committed `before` seed-kernel numbers and study fingerprint)
+  --check    re-measure and fail (exit 1) if any tracked benchmark regressed
+             more than --tolerance (default 20%) versus the committed
+             `after` numbers, after rescaling by the calibration benchmark
+             (BM_CdfBuildAndQuery — pure arithmetic, untouched by kernel
+             work) so a slower CI machine does not read as a regression.
+  --study    also run the full study (slow: minutes) and record wall time
+             and the cache fingerprint.
+
+With no mode flag it measures and prints, changing nothing.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BENCH = os.path.join(REPO_ROOT, "build", "bench", "bench_microbench")
+DEFAULT_REALDATA = os.path.join(REPO_ROOT, "build", "tools", "realdata")
+DEFAULT_JSON = os.path.join(REPO_ROOT, "BENCH_sim.json")
+
+# Benchmarks tracked for regressions. BM_CdfBuildAndQuery is the calibration
+# reference and is exempt from the regression gate itself.
+TRACKED = [
+    "BM_SimulatorScheduleRun",
+    "BM_SimulatorCancelHeavy",
+    "BM_SimulatorTimerChurn",
+    "BM_PacketForwardingChain/2",
+    "BM_PacketForwardingChain/8",
+    "BM_TcpBulkTransfer",
+    "BM_TcpChunkedSegments",
+    "BM_FrameScheduleGenerate",
+    "BM_PacketizeReassemble",
+]
+CALIBRATION = "BM_CdfBuildAndQuery"
+
+# Derived headline metrics: benchmark name -> (work items per iteration).
+EVENTS_PER_SCHEDULE_RUN = 1000  # events per BM_SimulatorScheduleRun iteration
+PACKETS_PER_FORWARD_ITER = 100  # packets per BM_PacketForwardingChain iteration
+
+
+def run_microbench(binary, repetitions, min_time):
+    """Runs the bench binary `repetitions` times; returns {name: min_ns}."""
+    best = {}
+    for rep in range(repetitions):
+        with tempfile.NamedTemporaryFile(mode="r", suffix=".json") as out:
+            cmd = [
+                binary,
+                "--benchmark_format=console",
+                "--benchmark_out_format=json",
+                "--benchmark_out=%s" % out.name,
+                "--benchmark_min_time=%g" % min_time,
+            ]
+            subprocess.run(
+                cmd, check=True, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL)
+            data = json.load(open(out.name))
+        for b in data.get("benchmarks", []):
+            name = b["name"]
+            ns = float(b["real_time"])  # time_unit is ns for all our benches
+            assert b.get("time_unit", "ns") == "ns", name
+            if name not in best or ns < best[name]:
+                best[name] = ns
+        print("  rep %d/%d done" % (rep + 1, repetitions), file=sys.stderr)
+    return best
+
+
+def derive(results):
+    d = {}
+    if "BM_SimulatorScheduleRun" in results:
+        d["event_ns"] = results["BM_SimulatorScheduleRun"] / EVENTS_PER_SCHEDULE_RUN
+    if "BM_PacketForwardingChain/8" in results:
+        per_packet_ns = results["BM_PacketForwardingChain/8"] / PACKETS_PER_FORWARD_ITER
+        d["packets_per_sec"] = 1e9 / per_packet_ns
+    return d
+
+
+def run_study(realdata, seed, threads):
+    """Runs the full study in a scratch dir; returns (wall_s, cache_md5)."""
+    scratch = tempfile.mkdtemp(prefix="rv_bench_study_")
+    try:
+        t0 = time.monotonic()
+        subprocess.run(
+            [realdata, "summary", "--seed", str(seed), "--threads",
+             str(threads)],
+            check=True, cwd=scratch, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+        wall = time.monotonic() - t0
+        caches = sorted(
+            f for f in os.listdir(scratch) if f.endswith(".cache"))
+        if len(caches) != 1:
+            raise RuntimeError("expected one .cache file, got %r" % caches)
+        digest = hashlib.md5(
+            open(os.path.join(scratch, caches[0]), "rb").read()).hexdigest()
+        return wall, digest
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench-binary", default=DEFAULT_BENCH)
+    ap.add_argument("--realdata-binary", default=DEFAULT_REALDATA)
+    ap.add_argument("--baseline", default=DEFAULT_JSON,
+                    help="path to BENCH_sim.json")
+    ap.add_argument("--repetitions", type=int, default=5,
+                    help="external repetitions; per-benchmark minimum is kept")
+    ap.add_argument("--min-time", type=float, default=0.25,
+                    help="--benchmark_min_time per repetition (seconds)")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="--check fails on regressions beyond this fraction")
+    ap.add_argument("--check", action="store_true")
+    ap.add_argument("--update", action="store_true")
+    ap.add_argument("--study", action="store_true",
+                    help="also run the full study (minutes)")
+    ap.add_argument("--seed", type=int, default=2001)
+    ap.add_argument("--threads", type=int, default=4)
+    args = ap.parse_args()
+
+    if not os.path.exists(args.bench_binary):
+        sys.exit("bench binary not found: %s (build Release first)" %
+                 args.bench_binary)
+
+    print("running %s x%d (min_time=%gs each)..." %
+          (args.bench_binary, args.repetitions, args.min_time),
+          file=sys.stderr)
+    results = run_microbench(args.bench_binary, args.repetitions,
+                             args.min_time)
+    derived = derive(results)
+
+    study = None
+    if args.study:
+        print("running full study (seed=%d, threads=%d)..." %
+              (args.seed, args.threads), file=sys.stderr)
+        wall, digest = run_study(args.realdata_binary, args.seed,
+                                 args.threads)
+        study = {"seed": args.seed, "threads": args.threads,
+                 "wall_seconds": round(wall, 1), "cache_md5": digest}
+
+    for name in TRACKED + [CALIBRATION]:
+        if name in results:
+            print("%-32s %12.0f ns" % (name, results[name]))
+    for k, v in sorted(derived.items()):
+        print("%-32s %12.1f" % (k, v))
+    if study:
+        print("study wall %.1fs  cache md5 %s" %
+              (study["wall_seconds"], study["cache_md5"]))
+
+    if args.check:
+        committed = json.load(open(args.baseline))
+        cal_committed = committed["benchmarks"][CALIBRATION]["after_ns"]
+        cal_measured = results[CALIBRATION]
+        scale = cal_measured / cal_committed
+        print("calibration scale %.2fx (machine vs committed baseline)" %
+              scale, file=sys.stderr)
+        failures = []
+        for name in TRACKED:
+            entry = committed["benchmarks"].get(name)
+            if entry is None or name not in results:
+                continue
+            allowed = entry["after_ns"] * scale * (1.0 + args.tolerance)
+            if results[name] > allowed:
+                failures.append(
+                    "%s: %.0f ns > allowed %.0f ns (committed %.0f ns x "
+                    "%.2f scale x %.0f%% tolerance)" %
+                    (name, results[name], allowed, entry["after_ns"], scale,
+                     (1.0 + args.tolerance) * 100))
+        if args.study and study is not None:
+            want = committed.get("study", {}).get("cache_md5")
+            if want and study["cache_md5"] != want:
+                failures.append(
+                    "study output changed: cache md5 %s != committed %s" %
+                    (study["cache_md5"], want))
+        if failures:
+            print("REGRESSION:", file=sys.stderr)
+            for f in failures:
+                print("  " + f, file=sys.stderr)
+            sys.exit(1)
+        print("check passed: no benchmark regressed beyond %.0f%%" %
+              (args.tolerance * 100))
+
+    if args.update:
+        doc = json.load(open(args.baseline)) if os.path.exists(
+            args.baseline) else {"benchmarks": {}}
+        for name, ns in results.items():
+            entry = doc["benchmarks"].setdefault(name, {})
+            entry["after_ns"] = round(ns, 1)
+            if "before_ns" in entry:
+                entry["speedup"] = round(entry["before_ns"] / ns, 2)
+        doc["derived_after"] = {k: round(v, 1) for k, v in derived.items()}
+        if study is not None:
+            doc.setdefault("study", {}).update({
+                "seed": study["seed"], "threads": study["threads"],
+                "after_wall_seconds": study["wall_seconds"],
+                "cache_md5": study["cache_md5"],
+            })
+        json.dump(doc, open(args.baseline, "w"), indent=2, sort_keys=True)
+        open(args.baseline, "a").write("\n")
+        print("updated %s" % args.baseline)
+
+
+if __name__ == "__main__":
+    main()

@@ -20,9 +20,9 @@ LinkDirection::LinkDirection(sim::Simulator& sim, BitsPerSec rate,
   }
 }
 
-void LinkDirection::send(Packet packet) {
-  RV_CHECK_GT(packet.size_bytes, 0);
-  if (fault_ != nullptr && fault_(packet, sim_.now())) {
+void LinkDirection::send(PooledPacket packet) {
+  RV_CHECK_GT(packet->size_bytes, 0);
+  if (fault_ != nullptr && fault_(*packet, sim_.now())) {
     ++stats_.packets_faulted;
     ++stats_.packets_dropped;
     return;
@@ -31,28 +31,30 @@ void LinkDirection::send(Packet packet) {
     // RED drops probabilistically before the queue is full; drop-tail (and
     // RED's hard limit) drop on overflow.
     if (red_ != nullptr &&
-        red_->should_drop(queued_bytes_, packet.size_bytes)) {
+        red_->should_drop(queued_bytes_, packet->size_bytes)) {
       ++stats_.packets_dropped;
       return;
     }
-    if (queued_bytes_ + packet.size_bytes > queue_capacity_bytes_) {
+    if (queued_bytes_ + packet->size_bytes > queue_capacity_bytes_) {
       ++stats_.packets_dropped;
       return;
     }
-    queued_bytes_ += packet.size_bytes;
+    queued_bytes_ += packet->size_bytes;
     queue_.push_back(std::move(packet));
     return;
   }
   start_transmission(std::move(packet));
 }
 
-void LinkDirection::start_transmission(Packet packet) {
+void LinkDirection::start_transmission(PooledPacket packet) {
   busy_ = true;
-  const SimTime tx = transmission_time(packet.size_bytes, rate_);
+  const SimTime tx = transmission_time(packet->size_bytes, rate_);
   stats_.busy_time += tx;
   ++stats_.packets_sent;
-  stats_.bytes_sent += static_cast<std::uint64_t>(packet.size_bytes);
+  stats_.bytes_sent += static_cast<std::uint64_t>(packet->size_bytes);
   // Delivery happens tx + propagation later; the transmitter frees after tx.
+  // The pool handle moves into the event's inline storage — no allocation,
+  // no packet copy.
   sim_.schedule_in(tx + prop_delay_,
                    [this, p = std::move(packet)]() mutable {
                      if (deliver_) deliver_(std::move(p));
@@ -63,9 +65,9 @@ void LinkDirection::start_transmission(Packet packet) {
 void LinkDirection::transmission_done() {
   busy_ = false;
   if (queue_.empty()) return;
-  Packet next = std::move(queue_.front());
+  PooledPacket next = std::move(queue_.front());
   queue_.pop_front();
-  queued_bytes_ -= next.size_bytes;
+  queued_bytes_ -= next->size_bytes;
   RV_CHECK_GE(queued_bytes_, 0);
   start_transmission(std::move(next));
 }

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "net/queue_policy.h"
 #include "sim/simulator.h"
 #include "util/units.h"
@@ -39,10 +40,11 @@ class LinkDirection {
                 const QueueConfig& queue);
 
   // Accepts a packet for transmission; drops it if the queue is full.
-  void send(Packet packet);
+  // Pool-slot handles move through queueing and delivery without copying.
+  void send(PooledPacket packet);
 
   // Called with each packet after serialisation + propagation.
-  void set_deliver(std::function<void(Packet)> deliver) {
+  void set_deliver(std::function<void(PooledPacket)> deliver) {
     deliver_ = std::move(deliver);
   }
 
@@ -56,7 +58,7 @@ class LinkDirection {
   const LinkStats& stats() const { return stats_; }
 
  private:
-  void start_transmission(Packet packet);
+  void start_transmission(PooledPacket packet);
   void transmission_done();
 
   sim::Simulator& sim_;
@@ -64,10 +66,10 @@ class LinkDirection {
   SimTime prop_delay_;
   std::int64_t queue_capacity_bytes_;
   std::unique_ptr<RedState> red_;  // null for drop-tail
-  std::deque<Packet> queue_;
+  std::deque<PooledPacket> queue_;
   std::int64_t queued_bytes_ = 0;
   bool busy_ = false;
-  std::function<void(Packet)> deliver_;
+  std::function<void(PooledPacket)> deliver_;
   FaultFilter fault_;
   LinkStats stats_;
 };

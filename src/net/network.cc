@@ -46,14 +46,14 @@ Link& Network::add_link(NodeId a, NodeId b, BitsPerSec rate,
   Link& link = *links_.back();
   // Arriving packets are handled by the receiving node (after the optional
   // observation tap sees them).
-  const auto deliver_at = [this](NodeId id, Packet p) {
-    if (tap_) tap_(p, id, sim_.now());
+  const auto deliver_at = [this](NodeId id, PooledPacket p) {
+    if (tap_) tap_(*p, id, sim_.now());
     nodes_[id]->handle(std::move(p));
   };
   link.direction_from(a).set_deliver(
-      [deliver_at, id = b](Packet p) { deliver_at(id, std::move(p)); });
+      [deliver_at, id = b](PooledPacket p) { deliver_at(id, std::move(p)); });
   link.direction_from(b).set_deliver(
-      [deliver_at, id = a](Packet p) { deliver_at(id, std::move(p)); });
+      [deliver_at, id = a](PooledPacket p) { deliver_at(id, std::move(p)); });
   routes_ready_ = false;
   return link;
 }
@@ -122,7 +122,8 @@ void Network::send(Packet packet) {
   RV_CHECK(routes_ready_) << "compute_routes() before sending";
   RV_CHECK_LT(packet.src, nodes_.size());
   RV_CHECK_LT(packet.dst, nodes_.size());
-  nodes_[packet.src]->handle(std::move(packet));
+  const NodeId src = packet.src;
+  nodes_[src]->handle(pool_.acquire(std::move(packet)));
 }
 
 }  // namespace rv::net

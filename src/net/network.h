@@ -8,6 +8,7 @@
 #include "net/link.h"
 #include "net/node.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "sim/simulator.h"
 
 namespace rv::net {
@@ -40,8 +41,13 @@ class Network {
   // before traffic flows.
   void compute_routes();
 
-  // Injects a packet at its source node (local stack "transmit").
+  // Injects a packet at its source node (local stack "transmit"). The
+  // packet moves into a recycled pool slot and travels the forwarding path
+  // (queues, delivery events) without further copies.
   void send(Packet packet);
+
+  // Forwarding-path slot recycler; exposed for pool-behaviour tests.
+  const PacketPool& packet_pool() const { return pool_; }
 
   // Observation tap (mmdump-style [MCCS00]): called for every packet as it
   // is delivered off a link, with the receiving node. Passive — the packet
@@ -52,6 +58,7 @@ class Network {
 
  private:
   sim::Simulator& sim_;
+  PacketPool pool_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   DeliveryTap tap_;

@@ -16,17 +16,19 @@ LinkDirection* Node::route_to(NodeId dst) const {
   return it == routes_.end() ? nullptr : it->second;
 }
 
-void Node::handle(Packet packet) {
-  if (packet.dst == id_) {
+void Node::handle(PooledPacket packet) {
+  if (packet->dst == id_) {
     if (local_sink_) {
-      local_sink_(std::move(packet));
+      // The payload moves out of the slot; the slot itself returns to the
+      // pool when `packet` goes out of scope.
+      local_sink_(std::move(*packet));
     } else {
       // Cross-traffic sinks and closed ports land here by design.
       ++sink_drops_;
     }
     return;
   }
-  LinkDirection* out = route_to(packet.dst);
+  LinkDirection* out = route_to(packet->dst);
   if (out == nullptr) {
     ++no_route_drops_;
     return;

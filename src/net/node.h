@@ -12,6 +12,7 @@
 
 #include "net/link.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 
 namespace rv::net {
 
@@ -31,8 +32,10 @@ class Node {
     local_sink_ = std::move(sink);
   }
 
-  // Entry point for packets arriving at (or originated by) this node.
-  void handle(Packet packet);
+  // Entry point for packets arriving at (or originated by) this node. The
+  // pool slot is forwarded onward, or released after the payload moves into
+  // the local sink.
+  void handle(PooledPacket packet);
 
   std::uint64_t no_route_drops() const { return no_route_drops_; }
   std::uint64_t sink_drops() const { return sink_drops_; }

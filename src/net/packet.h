@@ -2,14 +2,17 @@
 //
 // Packets are value types: cheap to copy (application payload is carried as a
 // shared_ptr to immutable metadata rather than as bytes — this is a
-// simulator, so only sizes travel the wire, not content).
+// simulator, so only sizes travel the wire, not content). The short header
+// lists (SACK blocks, chunk records) use inline SmallVec storage, so a
+// typical packet owns no heap memory and moves by plain member copy.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <vector>
+#include <utility>
 
 #include "net/address.h"
+#include "util/small_vec.h"
 #include "util/units.h"
 
 namespace rv::net {
@@ -30,7 +33,9 @@ struct TcpHeader {
   std::int64_t window_bytes = 0;  // advertised receive window
   // SACK option (RFC 2018): up to 3 [start, end) blocks of received
   // out-of-order data. Empty when the option is off or nothing is queued.
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> sack_blocks;
+  // Inline capacity matches the RFC's 3-block cap, so building the option
+  // never allocates.
+  util::SmallVec<std::pair<std::uint64_t, std::uint64_t>, 3> sack_blocks;
 };
 
 // Marks an application chunk (e.g. a video frame fragment handed to TCP as
@@ -52,8 +57,10 @@ struct Packet {
   Protocol proto = Protocol::kUdp;
   std::int32_t size_bytes = 0;  // total on-wire size, headers included
 
-  TcpHeader tcp;                        // valid when proto == kTcp
-  std::vector<TcpChunkRecord> chunks;   // chunk boundaries in this segment
+  TcpHeader tcp;  // valid when proto == kTcp
+  // Chunk boundaries in this segment. MSS-sized writes end at most one chunk
+  // per segment; inline room for 2 also covers a trailing sub-MSS chunk.
+  util::SmallVec<TcpChunkRecord, 2> chunks;
   std::shared_ptr<const PayloadMeta> meta;  // app payload descriptor
 
   std::int32_t payload_bytes() const {

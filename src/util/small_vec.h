@@ -1,0 +1,148 @@
+// SmallVec: a vector with inline storage for the first N elements.
+//
+// Packet headers carry short element lists (up to 3 SACK blocks, a couple of
+// chunk-boundary records); std::vector heap-allocates for even one element,
+// which on the packet path means several mallocs per segment. SmallVec keeps
+// the common case entirely inline and only spills to the heap past N.
+// Supports the subset of the vector API the simulator uses.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rv::util {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() noexcept = default;
+  SmallVec(const SmallVec& other) { append_copy(other.data(), other.size_); }
+  SmallVec(SmallVec&& other) noexcept(
+      std::is_nothrow_move_constructible_v<T>) {
+    take_from(std::move(other));
+  }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      reset();
+      append_copy(other.data(), other.size_);
+    }
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept(
+      std::is_nothrow_move_constructible_v<T>) {
+    if (this != &other) {
+      reset();
+      take_from(std::move(other));
+    }
+    return *this;
+  }
+  ~SmallVec() { reset(); }
+
+  T* data() noexcept { return heap_ != nullptr ? heap_ : inline_data(); }
+  const T* data() const noexcept {
+    return heap_ != nullptr ? heap_ : inline_data();
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool is_inline() const noexcept { return heap_ == nullptr; }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  T& front() { return data()[0]; }
+  const T& front() const { return data()[0]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  iterator begin() noexcept { return data(); }
+  iterator end() noexcept { return data() + size_; }
+  const_iterator begin() const noexcept { return data(); }
+  const_iterator end() const noexcept { return data() + size_; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow();
+    T* p = ::new (static_cast<void*>(data() + size_))
+        T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  // Destroys all elements; heap capacity (if any) is kept for reuse.
+  void clear() noexcept {
+    std::destroy_n(data(), size_);
+    size_ = 0;
+  }
+
+ private:
+  T* inline_data() noexcept { return std::launder(reinterpret_cast<T*>(storage_)); }
+  const T* inline_data() const noexcept {
+    return std::launder(reinterpret_cast<const T*>(storage_));
+  }
+
+  void grow() {
+    const std::size_t new_capacity = capacity_ * 2;
+    T* fresh = std::allocator<T>().allocate(new_capacity);
+    T* src = data();
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(src[i]));
+      src[i].~T();
+    }
+    if (heap_ != nullptr) std::allocator<T>().deallocate(heap_, capacity_);
+    heap_ = fresh;
+    capacity_ = new_capacity;
+  }
+
+  void append_copy(const T* src, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) emplace_back(src[i]);
+  }
+
+  void take_from(SmallVec&& other) noexcept(
+      std::is_nothrow_move_constructible_v<T>) {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = N;
+      other.size_ = 0;
+      return;
+    }
+    for (std::size_t i = 0; i < other.size_; ++i) {
+      ::new (static_cast<void*>(inline_data() + i))
+          T(std::move(other.inline_data()[i]));
+    }
+    size_ = other.size_;
+    other.clear();
+  }
+
+  // Destroys elements and returns to the inline-empty state.
+  void reset() noexcept {
+    clear();
+    if (heap_ != nullptr) {
+      std::allocator<T>().deallocate(heap_, capacity_);
+      heap_ = nullptr;
+      capacity_ = N;
+    }
+  }
+
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+  T* heap_ = nullptr;  // null while inline
+  alignas(T) unsigned char storage_[N * sizeof(T)];
+};
+
+}  // namespace rv::util

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "sim/event_fn.h"
 #include "sim/simulator.h"
 #include "util/check.h"
 
@@ -116,6 +119,180 @@ TEST(Simulator, PendingEventsAccountsForCancellations) {
   EXPECT_EQ(sim.pending_events(), 2u);
   sim.cancel(a);
   EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, SameTimestampFifoAcrossDeepHeap) {
+  // Enough same-timestamp events to span several levels of the 4-ary heap,
+  // interleaved with earlier and later times, so sift-up/sift-down must
+  // preserve the sequence-number tie-break rather than relying on insertion
+  // position.
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 500; ++i) {
+    sim.schedule_at(1000, [&order, i] { order.push_back(i); });
+    if (i % 7 == 0) sim.schedule_at(10 + i, [] {});
+    if (i % 11 == 0) sim.schedule_at(2000 + i, [] {});
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 500u);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, SlotsAreReusedAfterCancel) {
+  // Slot-pool growth is bounded by peak *pending* events: scheduling and
+  // cancelling in waves must recycle slots, not allocate new ones.
+  Simulator sim;
+  for (int wave = 0; wave < 100; ++wave) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 8; ++i) {
+      ids.push_back(sim.schedule_at(wave + 1, [] {}));
+    }
+    for (const EventId id : ids) sim.cancel(id);
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.slot_capacity(), 8u);
+  sim.run();
+}
+
+TEST(Simulator, SlotsAreReusedAfterFire) {
+  Simulator sim;
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule_at(i, [] {});
+    sim.run();
+  }
+  EXPECT_EQ(sim.slot_capacity(), 1u);
+}
+
+TEST(Simulator, StaleCancelsLeaveNoState) {
+  // Regression test for the old kernel's leak: cancelling an id that already
+  // fired inserted a tombstone into a set that nothing would ever drain.
+  // Cancel must be a true no-op for stale ids — no heap entries, no slots,
+  // no pending-count drift, even after many such cancels.
+  Simulator sim;
+  std::vector<EventId> fired_ids;
+  for (int i = 0; i < 200; ++i) {
+    fired_ids.push_back(sim.schedule_at(i, [] {}));
+  }
+  sim.run();
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (const EventId id : fired_ids) sim.cancel(id);
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.heap_size(), 0u);
+  // A live event scheduled after the stale-cancel storm is unaffected.
+  bool fired = false;
+  sim.schedule_at(1000, [&] { fired = true; });
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, StaleCancelDoesNotHitRecycledSlot) {
+  // After an event fires, its slot is recycled for the next event. The old
+  // id's generation is stale; cancelling it must not cancel the slot's new
+  // occupant.
+  Simulator sim;
+  const EventId old_id = sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_EQ(sim.slot_capacity(), 1u);
+  bool fired = false;
+  sim.schedule_at(20, [&] { fired = true; });  // reuses the slot
+  sim.cancel(old_id);
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelInsideEventOfPendingEvent) {
+  // In-flight cancellation: an event cancels a later, still-pending event
+  // while the kernel is mid-step.
+  Simulator sim;
+  bool late_fired = false;
+  const EventId late = sim.schedule_at(100, [&] { late_fired = true; });
+  sim.schedule_at(50, [&] { sim.cancel(late); });
+  sim.run();
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelOwnIdInsideEventIsNoop) {
+  // By the time a callback runs, its own event has fired; the id is stale.
+  Simulator sim;
+  EventId self = kInvalidEventId;
+  int count = 0;
+  self = sim.schedule_at(10, [&] {
+    ++count;
+    sim.cancel(self);
+  });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.heap_size(), 0u);
+}
+
+TEST(Simulator, CancelledTombstonesDrainAtPop) {
+  // A cancelled event's heap entry stays behind as a tombstone until it
+  // surfaces, mirroring the lazy-delete timing of the original kernel.
+  Simulator sim;
+  const EventId a = sim.schedule_at(10, [] {});
+  sim.schedule_at(20, [] {});
+  sim.cancel(a);
+  EXPECT_EQ(sim.heap_size(), 2u);  // tombstone still in the heap
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_TRUE(sim.step());  // skips the tombstone, fires the live event
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.heap_size(), 0u);
+}
+
+TEST(Simulator, RunUntilCancelledHeadAdmitsNextStep) {
+  // Preserved seed-kernel quirk: run_until inspects the raw heap head
+  // (tombstones included). A cancelled entry at or before the deadline
+  // admits one step(), which may fire the next live event even though it
+  // lies past the deadline; the clock then ends at the deadline. Study
+  // byte-identity across the kernel rewrite depends on this timing.
+  Simulator sim;
+  bool late_fired = false;
+  const EventId head = sim.schedule_at(10, [] {});
+  sim.schedule_at(100, [&] { late_fired = true; });
+  sim.cancel(head);
+  sim.run_until(50);
+  EXPECT_TRUE(late_fired);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulator, MoveOnlyCapturesAreSupported) {
+  // EventFn (unlike std::function) accepts move-only callables, which is
+  // what lets pooled packets travel inside delivery closures.
+  Simulator sim;
+  auto payload = std::make_unique<int>(42);
+  int seen = 0;
+  sim.schedule_at(10, [&seen, p = std::move(payload)] { seen = *p; });
+  sim.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(EventFn, SmallCallablesStayInline) {
+  // The forwarding path's delivery closures must fit the inline buffer —
+  // steady-state event scheduling allocates nothing.
+  struct {
+    void* a;
+    void* b;
+    std::uint64_t c;
+  } capture = {nullptr, nullptr, 7};
+  EventFn fn([capture] { (void)capture; });
+  EXPECT_TRUE(fn.is_inline());
+  EventFn moved = std::move(fn);
+  EXPECT_TRUE(moved.is_inline());
+}
+
+TEST(EventFn, OversizedCallablesSpillToHeap) {
+  struct {
+    unsigned char big[EventFn::inline_capacity() + 1];
+  } capture = {};
+  EventFn fn([capture] { (void)capture; });
+  EXPECT_FALSE(fn.is_inline());
+  bool ran = false;
+  EventFn target([&ran] { ran = true; });
+  target = std::move(fn);  // heap case: pointer steal, no allocation
+  EXPECT_FALSE(target.is_inline());
 }
 
 }  // namespace

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/small_vec.h"
 #include "util/strings.h"
 #include "util/units.h"
 
@@ -229,6 +232,69 @@ TEST(Args, FlagFollowedByFlag) {
 TEST(Args, ValueContainingEquals) {
   const auto args = make_args({"prog", "--filter=key=value"});
   EXPECT_EQ(args.get("filter"), "key=value");
+}
+
+TEST(SmallVec, StaysInlineUpToCapacity) {
+  util::SmallVec<int, 3> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  v.push_back(2);
+  v.push_back(3);
+  EXPECT_TRUE(v.is_inline());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v.back(), 3);
+}
+
+TEST(SmallVec, SpillsToHeapAndKeepsContents) {
+  util::SmallVec<int, 3> v;
+  for (int i = 0; i < 20; ++i) v.push_back(i);
+  EXPECT_FALSE(v.is_inline());
+  ASSERT_EQ(v.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVec, CopyAndMovePreserveElements) {
+  util::SmallVec<std::pair<int, int>, 2> v;
+  v.emplace_back(1, 2);
+  v.emplace_back(3, 4);
+  v.emplace_back(5, 6);  // spilled
+  auto copy = v;
+  ASSERT_EQ(copy.size(), 3u);
+  EXPECT_EQ(copy[2], (std::pair<int, int>{5, 6}));
+  auto moved = std::move(v);
+  ASSERT_EQ(moved.size(), 3u);
+  EXPECT_EQ(moved[0], (std::pair<int, int>{1, 2}));
+
+  // Inline move: elements are moved individually.
+  util::SmallVec<int, 4> inline_v;
+  inline_v.push_back(7);
+  auto inline_moved = std::move(inline_v);
+  ASSERT_EQ(inline_moved.size(), 1u);
+  EXPECT_EQ(inline_moved[0], 7);
+}
+
+TEST(SmallVec, MoveOnlyElements) {
+  util::SmallVec<std::unique_ptr<int>, 2> v;
+  v.push_back(std::make_unique<int>(1));
+  v.push_back(std::make_unique<int>(2));
+  v.push_back(std::make_unique<int>(3));
+  auto moved = std::move(v);
+  ASSERT_EQ(moved.size(), 3u);
+  EXPECT_EQ(*moved[2], 3);
+}
+
+TEST(SmallVec, ClearKeepsHeapCapacityAndRangeForWorks) {
+  util::SmallVec<int, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  const auto cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+  v.push_back(42);
+  int sum = 0;
+  for (const int x : v) sum += x;
+  EXPECT_EQ(sum, 42);
 }
 
 }  // namespace
