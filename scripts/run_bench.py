@@ -18,8 +18,23 @@ Modes:
              work) so a slower CI machine does not read as a regression.
   --study    also run the full study (slow: minutes) and record wall time
              and the cache fingerprint.
+  --threads-sweep 1,2,4,8
+             with --study: run the full study once per thread count, record
+             the scaling curve under study.scaling in BENCH_sim.json, and
+             fail if the cache md5 differs across thread counts (the
+             per-play executor must be byte-identical at any width).
+  --determinism-smoke
+             cheap CI gate: run a --smoke-scale mini-study at 1 and 2
+             threads and fail if the cache md5s differ. Needs only the
+             realdata binary; skips the microbenches entirely.
 
 With no mode flag it measures and prints, changing nothing.
+
+The --check perf gates only ever compare like with like: microbench numbers
+against the committed numbers (calibration-rescaled), and study wall time
+against the committed scaling-curve entry for the *same thread count* — a
+4-thread run is never judged against an 8-thread baseline. The cache md5 is
+thread-invariant by design, so it is compared unconditionally.
 """
 
 import argparse
@@ -93,15 +108,17 @@ def derive(results):
     return d
 
 
-def run_study(realdata, seed, threads):
+def run_study(realdata, seed, threads, scale=None):
     """Runs the full study in a scratch dir; returns (wall_s, cache_md5)."""
     scratch = tempfile.mkdtemp(prefix="rv_bench_study_")
     try:
+        cmd = [realdata, "summary", "--seed", str(seed), "--threads",
+               str(threads)]
+        if scale is not None:
+            cmd += ["--scale", "%g" % scale]
         t0 = time.monotonic()
         subprocess.run(
-            [realdata, "summary", "--seed", str(seed), "--threads",
-             str(threads)],
-            check=True, cwd=scratch, stdout=subprocess.DEVNULL,
+            cmd, check=True, cwd=scratch, stdout=subprocess.DEVNULL,
             stderr=subprocess.DEVNULL)
         wall = time.monotonic() - t0
         caches = sorted(
@@ -131,9 +148,38 @@ def main():
     ap.add_argument("--update", action="store_true")
     ap.add_argument("--study", action="store_true",
                     help="also run the full study (minutes)")
+    ap.add_argument("--threads-sweep", default=None,
+                    help="with --study: comma-separated thread counts for "
+                         "the scaling curve, e.g. 1,2,4,8")
+    ap.add_argument("--determinism-smoke", action="store_true",
+                    help="run a mini-study at 1 and 2 threads; fail if the "
+                         "cache md5s differ (cheap CI determinism gate)")
+    ap.add_argument("--smoke-scale", type=float, default=0.02,
+                    help="play_scale for --determinism-smoke")
     ap.add_argument("--seed", type=int, default=2001)
     ap.add_argument("--threads", type=int, default=4)
     args = ap.parse_args()
+
+    if args.determinism_smoke:
+        # Needs only the realdata binary: catches per-play executor
+        # determinism regressions without the full campaign or the benches.
+        if not os.path.exists(args.realdata_binary):
+            sys.exit("realdata binary not found: %s (build Release first)" %
+                     args.realdata_binary)
+        digests = {}
+        for threads in (1, 2):
+            wall, digest = run_study(args.realdata_binary, args.seed,
+                                     threads, scale=args.smoke_scale)
+            digests[threads] = digest
+            print("smoke threads=%d wall=%.1fs md5=%s" %
+                  (threads, wall, digest), file=sys.stderr)
+        if digests[1] != digests[2]:
+            sys.exit("determinism smoke FAILED: 1-thread md5 %s != 2-thread "
+                     "md5 %s (scale=%g seed=%d)" %
+                     (digests[1], digests[2], args.smoke_scale, args.seed))
+        print("determinism smoke passed: 1- and 2-thread mini-studies are "
+              "byte-identical (md5 %s)" % digests[1])
+        return
 
     if not os.path.exists(args.bench_binary):
         sys.exit("bench binary not found: %s (build Release first)" %
@@ -147,13 +193,29 @@ def main():
     derived = derive(results)
 
     study = None
+    scaling = None
     if args.study:
-        print("running full study (seed=%d, threads=%d)..." %
-              (args.seed, args.threads), file=sys.stderr)
-        wall, digest = run_study(args.realdata_binary, args.seed,
-                                 args.threads)
+        sweep = [args.threads]
+        if args.threads_sweep:
+            sweep = [int(t) for t in args.threads_sweep.split(",") if t]
+        scaling = {}
+        digests = {}
+        for threads in sweep:
+            print("running full study (seed=%d, threads=%d)..." %
+                  (args.seed, threads), file=sys.stderr)
+            wall, digest = run_study(args.realdata_binary, args.seed,
+                                     threads)
+            scaling[threads] = round(wall, 1)
+            digests[threads] = digest
+            print("  threads=%d wall=%.1fs md5=%s" % (threads, wall, digest),
+                  file=sys.stderr)
+        if len(set(digests.values())) != 1:
+            sys.exit("FATAL: cache md5 differs across thread counts: %r" %
+                     digests)
         study = {"seed": args.seed, "threads": args.threads,
-                 "wall_seconds": round(wall, 1), "cache_md5": digest}
+                 "wall_seconds": scaling.get(args.threads,
+                                             scaling[sweep[0]]),
+                 "cache_md5": digests[sweep[0]]}
 
     for name in TRACKED + [CALIBRATION]:
         if name in results:
@@ -163,6 +225,11 @@ def main():
     if study:
         print("study wall %.1fs  cache md5 %s" %
               (study["wall_seconds"], study["cache_md5"]))
+        if scaling and len(scaling) > 1:
+            base = scaling[max(scaling)]
+            for t in sorted(scaling):
+                print("  scaling threads=%-2d wall %6.1fs  (%.2fx vs widest)"
+                      % (t, scaling[t], scaling[t] / base))
 
     if args.check:
         committed = json.load(open(args.baseline))
@@ -184,11 +251,27 @@ def main():
                     (name, results[name], allowed, entry["after_ns"], scale,
                      (1.0 + args.tolerance) * 100))
         if args.study and study is not None:
-            want = committed.get("study", {}).get("cache_md5")
+            committed_study = committed.get("study", {})
+            # The md5 is thread-invariant by design: compare unconditionally.
+            want = committed_study.get("cache_md5")
             if want and study["cache_md5"] != want:
                 failures.append(
                     "study output changed: cache md5 %s != committed %s" %
                     (study["cache_md5"], want))
+            # Wall time is NOT thread-invariant: only gate a measured run
+            # against the committed number for the same thread count.
+            committed_scaling = committed_study.get("scaling", {})
+            for threads, wall in (scaling or {}).items():
+                want_wall = committed_scaling.get(str(threads))
+                if want_wall is None:
+                    continue
+                allowed = want_wall * scale * (1.0 + args.tolerance)
+                if wall > allowed:
+                    failures.append(
+                        "study wall (threads=%d): %.1fs > allowed %.1fs "
+                        "(committed %.1fs x %.2f scale x %.0f%% tolerance)" %
+                        (threads, wall, allowed, want_wall, scale,
+                         (1.0 + args.tolerance) * 100))
         if failures:
             print("REGRESSION:", file=sys.stderr)
             for f in failures:
@@ -212,6 +295,13 @@ def main():
                 "after_wall_seconds": study["wall_seconds"],
                 "cache_md5": study["cache_md5"],
             })
+            if "before_wall_seconds" in doc["study"]:
+                before = doc["study"]["before_wall_seconds"]
+                doc["study"]["wall_reduction_percent"] = round(
+                    100.0 * (before - study["wall_seconds"]) / before, 1)
+            if scaling:
+                doc["study"]["scaling"] = {
+                    str(t): w for t, w in sorted(scaling.items())}
         json.dump(doc, open(args.baseline, "w"), indent=2, sort_keys=True)
         open(args.baseline, "a").write("\n")
         print("updated %s" % args.baseline)

@@ -41,6 +41,14 @@ class Network {
   // before traffic flows.
   void compute_routes();
 
+  // Tears the topology down (nodes, links, tap, routes) for rebuilding in
+  // place while keeping the packet pool's slot storage warm. Packets still
+  // queued on links are released back to the pool as the links are
+  // destroyed. Reset the owning Simulator first: pending delivery events
+  // hold pool handles, and destroying them while the pool core is alive
+  // returns those slots for the next topology to reuse.
+  void reset();
+
   // Injects a packet at its source node (local stack "transmit"). The
   // packet moves into a recycled pool slot and travels the forwarding path
   // (queues, delivery events) without further copies.

@@ -152,6 +152,23 @@ void Simulator::cancel(EventId id) {
   release_slot(slot);
 }
 
+void Simulator::reset() {
+  // Destroy every constructed slot (releasing any pending callbacks and
+  // their captures) and let acquire_slot placement-construct them again on
+  // demand: generations restart at 1 and the free list restarts empty,
+  // matching a fresh simulator exactly. Chunks and the heap buffer stay
+  // allocated, so the next play schedules into warm memory.
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    slot_ref(static_cast<std::uint32_t>(i)).~Slot();
+  }
+  slot_count_ = 0;
+  free_slots_.clear();
+  heap_size_ = 0;
+  live_ = 0;
+  now_ = 0;
+  next_seq_ = 1;
+}
+
 bool Simulator::step() {
   while (heap_size_ > 0) {
     const HeapEntry e = heap_pop_root();

@@ -77,6 +77,16 @@ class Simulator {
   // harmless no-op (timers race with the events that disarm them).
   void cancel(EventId id);
 
+  // Returns the simulator to its just-constructed state — clock at zero, no
+  // pending events, sequence counter and slot generations back at their
+  // initial values — while keeping the slot chunks and the heap buffer
+  // allocated. Pending callbacks are destroyed (their captures released)
+  // exactly as the destructor would. After reset the simulator is
+  // observationally indistinguishable from a fresh one, so per-worker
+  // contexts can reuse it across plays without perturbing results; only the
+  // warm allocations differ.
+  void reset();
+
   // Runs until the queue empties.
   void run();
   // Runs events with time <= deadline; the clock ends at the deadline even if

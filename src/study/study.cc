@@ -47,20 +47,40 @@ StudyResult run_study(const StudyConfig& config) {
   tracer::RealTracer tracer(catalog, graph, tracer_cfg);
   tracer.plan_access_times(result.users);
 
-  // One slot per user keeps the output order (and thus the result)
-  // independent of thread scheduling.
-  std::vector<std::vector<tracer::TraceRecord>> per_user(result.users.size());
-  std::atomic<std::size_t> next{0};
+  // Plan/execute split: the serial planning pass precomputes everything
+  // coupled across a user's plays and emits one self-contained task per
+  // play; workers then drain the ~2855 tasks cost-descending off a shared
+  // index queue. Each task writes its preassigned (user-major, play-minor)
+  // record slot, so the output is byte-identical for any thread count and
+  // any interleaving — per-user sharding's straggler wall (one heavy-tailed
+  // user bounding the tail) is gone.
+  const tracer::StudyPlan plan = tracer.build_plan(result.users, config.seed);
+  result.records.resize(plan.tasks.size());
+  // Slots are written by exactly one worker each, with no flag or counter
+  // beside them; a TraceRecord spans multiple cache lines, so neighbouring
+  // writers cannot ping-pong a line for the whole record either.
+  static_assert(sizeof(tracer::TraceRecord) >= 64,
+                "result slots narrower than a cache line: give the executor "
+                "per-worker spans or align the slots");
+
   int n_threads = config.threads > 0
                       ? config.threads
                       : static_cast<int>(std::thread::hardware_concurrency());
   n_threads = std::clamp(n_threads, 1, 64);
 
+  // Claims need no ordering: workers only read plan/tracer state published
+  // before the pool started (thread creation happens-before) and publish
+  // records via join. fetch_add(relaxed) is still a total order on the
+  // counter itself, so every task is claimed exactly once.
+  std::atomic<std::size_t> next{0};
   auto worker = [&] {
+    tracer::PlayContext ctx;
     while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= result.users.size()) return;
-      per_user[i] = tracer.run_user(result.users[i], config.seed);
+      const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= plan.order.size()) return;
+      const tracer::PlayTask& task = plan.tasks[plan.order[k]];
+      result.records[task.record_slot] =
+          tracer.run_play(task, result.users[task.user_index], ctx);
     }
   };
   if (n_threads == 1) {
@@ -71,15 +91,12 @@ StudyResult run_study(const StudyConfig& config) {
     for (int i = 0; i < n_threads; ++i) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
   }
-
-  for (auto& records : per_user) {
-    for (auto& rec : records) result.records.push_back(std::move(rec));
-  }
   return result;
 }
 
 std::vector<const tracer::TraceRecord*> StudyResult::accesses() const {
   std::vector<const tracer::TraceRecord*> out;
+  out.reserve(records.size());
   for (const auto& r : records) {
     if (!r.rtsp_blocked_user) out.push_back(&r);
   }
@@ -88,6 +105,7 @@ std::vector<const tracer::TraceRecord*> StudyResult::accesses() const {
 
 std::vector<const tracer::TraceRecord*> StudyResult::played() const {
   std::vector<const tracer::TraceRecord*> out;
+  out.reserve(records.size());
   for (const auto& r : records) {
     if (r.analyzable()) out.push_back(&r);
   }
@@ -96,6 +114,7 @@ std::vector<const tracer::TraceRecord*> StudyResult::played() const {
 
 std::vector<const tracer::TraceRecord*> StudyResult::rated() const {
   std::vector<const tracer::TraceRecord*> out;
+  out.reserve(records.size());
   for (const auto& r : records) {
     if (r.analyzable() && r.rated()) out.push_back(&r);
   }

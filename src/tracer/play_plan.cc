@@ -1,0 +1,27 @@
+#include "tracer/play_plan.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rv::tracer {
+
+void finalize_order(StudyPlan& plan) {
+  plan.order.resize(plan.tasks.size());
+  std::iota(plan.order.begin(), plan.order.end(), 0u);
+  const auto& tasks = plan.tasks;
+  std::sort(plan.order.begin(), plan.order.end(),
+            [&tasks](std::uint32_t a, std::uint32_t b) {
+              if (tasks[a].est_cost != tasks[b].est_cost) {
+                return tasks[a].est_cost > tasks[b].est_cost;
+              }
+              return a < b;
+            });
+  plan.sim_tasks = 0;
+  plan.total_cost = 0.0;
+  for (const auto& t : tasks) {
+    plan.sim_tasks += t.needs_sim;
+    plan.total_cost += t.est_cost;
+  }
+}
+
+}  // namespace rv::tracer

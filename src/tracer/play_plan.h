@@ -1,0 +1,71 @@
+// Plan/execute split of the study campaign.
+//
+// RealTracer::run_user used to be the unit of parallelism, but the paper's
+// clips-per-user distribution (Fig 5) is heavy-tailed: 63 uneven user tasks
+// end in a single straggler and scaling stops far below hardware
+// concurrency. The split moves the serial coupling *between* a user's plays
+// — the user rng stream (per-play forks, the rate-this-clip shuffle, the
+// rater profile), the mechanistic-unavailability site ranks, per-play fault
+// draws and force-TCP decisions — into a cheap serial planning pass that
+// emits one self-contained PlayTask per play. The ~2855 tasks then execute
+// in any order on any worker, each writing its record into a preassigned
+// slot, so the output is byte-identical for every thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/injector.h"
+#include "tracer/rating.h"
+#include "tracer/record.h"
+#include "util/rng.h"
+
+namespace rv::tracer {
+
+// Everything one play needs to execute independently of every other play.
+struct PlayTask {
+  std::uint32_t user_index = 0;  // index into the planned population
+  std::uint32_t play_index = 0;  // position in the user's playlist
+  std::size_t record_slot = 0;   // flat output slot (user-major, play-minor)
+  std::size_t playlist_index = 0;
+  std::uint64_t play_seed = 0;
+
+  // false: `record` below is already final (firewalled user, or the legacy
+  // Bernoulli model drew this access unavailable) — no session to simulate.
+  bool needs_sim = false;
+  bool force_tcp = false;
+  bool has_faults = false;  // feed `faults` into the session
+  faults::PlayFaults faults;
+
+  // Rating inputs, applied only when the finished record is analyzable: the
+  // user's rater profile and the play rng stream exactly as the serial code
+  // left it after drawing play_seed (run_single never touches the play rng,
+  // so resuming from this state reproduces the serial rating draws).
+  bool rate = false;
+  RaterProfile rater;
+  util::Rng post_rng{0};
+
+  // Identity fields prefilled by the planner; the complete record for
+  // !needs_sim tasks.
+  TraceRecord record;
+
+  // Relative execution-cost estimate (arbitrary units) driving the
+  // cost-descending schedule.
+  double est_cost = 0.0;
+};
+
+struct StudyPlan {
+  // One task per (user, play), in record order: tasks[k].record_slot == k.
+  std::vector<PlayTask> tasks;
+  // Task indices in execution order: est_cost descending, ties broken by
+  // ascending task index — a pure function of the plan, so the schedule is
+  // deterministic (though execution order never affects results).
+  std::vector<std::uint32_t> order;
+  std::size_t sim_tasks = 0;  // tasks with needs_sim set
+  double total_cost = 0.0;    // sum of est_cost over all tasks
+};
+
+// Fills `plan.order` (cost-descending) and the summary fields.
+void finalize_order(StudyPlan& plan);
+
+}  // namespace rv::tracer

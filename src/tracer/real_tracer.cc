@@ -32,6 +32,19 @@ TraceRecord base_record(const world::UserProfile& user,
   return rec;
 }
 
+// Relative session cost for the cost-descending schedule. Event volume
+// scales with the watch window and, roughly, with the connection's line rate
+// (a T1 play moves ~20x the packets of a modem play); an unreachable-server
+// play only exercises the retry ladder. Only the *ordering* matters, and
+// only for tail latency — a wrong estimate can never change results.
+double estimate_cost(const TracerConfig& config,
+                     const world::UserProfile& user, bool server_unreachable) {
+  const double bw_kbps = to_kbps(world::reported_bandwidth_for(user.connection));
+  double est = to_seconds(config.watch_duration) * (0.2 + bw_kbps / 500.0);
+  if (server_unreachable) est *= 0.1;
+  return est;
+}
+
 }  // namespace
 
 RealTracer::RealTracer(const media::Catalog& catalog,
@@ -69,20 +82,25 @@ void RealTracer::plan_access_times(
   }
 }
 
-TraceRecord RealTracer::run_single(const world::UserProfile& user,
-                                   std::size_t playlist_index,
-                                   std::uint64_t play_seed,
-                                   bool force_tcp,
-                                   const faults::PlayFaults* play_faults) const {
+TraceRecord RealTracer::run_session(
+    PlayContext& ctx, const world::UserProfile& user,
+    std::size_t playlist_index, std::uint64_t play_seed, bool force_tcp,
+    const faults::PlayFaults* play_faults) const {
   TraceRecord rec = base_record(user, catalog_, playlist_index);
   const auto& site = world::server_sites().at(rec.site);
   util::Rng rng(play_seed);
 
-  sim::Simulator sim;
+  // Clear the previous play out of the context *before* the path rebuild:
+  // destroying the old pending events returns their pooled packets while the
+  // old network (and pool core) is still alive. After reset the simulator is
+  // observationally a fresh one, so reuse cannot perturb results.
+  sim::Simulator& sim = ctx.sim;
+  sim.reset();
   world::PathBuilder builder(graph_, config_.path);
   const world::AccessSpec access =
       world::access_spec_for(user.connection, rng);
-  world::PlayPath path = builder.build(sim, user, access, site, rng);
+  builder.build_into(ctx.path, sim, user, access, site, rng);
+  world::PlayPath& path = ctx.path;
   path.start_cross_traffic();
 
   server::RealServerConfig server_cfg;
@@ -145,10 +163,23 @@ TraceRecord RealTracer::run_single(const world::UserProfile& user,
   return rec;
 }
 
-std::vector<TraceRecord> RealTracer::run_user(
-    const world::UserProfile& user, std::uint64_t study_seed) const {
+TraceRecord RealTracer::run_single(const world::UserProfile& user,
+                                   std::size_t playlist_index,
+                                   std::uint64_t play_seed,
+                                   bool force_tcp,
+                                   const faults::PlayFaults* play_faults) const {
+  PlayContext ctx;
+  return run_session(ctx, user, playlist_index, play_seed, force_tcp,
+                     play_faults);
+}
+
+void RealTracer::plan_user(const world::UserProfile& user,
+                           std::uint64_t study_seed, std::uint32_t user_index,
+                           StudyPlan& plan) const {
+  // The draws below replay the pre-split run_user loop verbatim — same
+  // streams, same order — so a planned play's seed, faults and rating state
+  // are bit-identical to what the serial code would have used.
   util::Rng user_rng(user.seed ^ study_seed);
-  std::vector<TraceRecord> records;
   const int plays =
       std::min<int>(user.clips_to_play, static_cast<int>(catalog_.size()));
 
@@ -186,21 +217,28 @@ std::vector<TraceRecord> RealTracer::run_user(
     }
   }
 
+  plan.tasks.reserve(plan.tasks.size() + static_cast<std::size_t>(plays));
   for (int i = 0; i < plays; ++i) {
     const auto playlist_index =
         static_cast<std::size_t>(i) % catalog_.size();
     util::Rng play_rng = user_rng.fork(static_cast<std::uint64_t>(i));
 
-    TraceRecord rec = base_record(user, catalog_, playlist_index);
+    PlayTask task;
+    task.user_index = user_index;
+    task.play_index = static_cast<std::uint32_t>(i);
+    task.record_slot = plan.tasks.size();
+    task.playlist_index = playlist_index;
+    task.record = base_record(user, catalog_, playlist_index);
+
     if (user.rtsp_blocked) {
       // Firewalled participant: RTSP never gets through; the paper removed
       // these users from all analysis (§IV).
-      rec.available = false;
-      records.push_back(std::move(rec));
+      task.record.available = false;
+      plan.tasks.push_back(std::move(task));
       continue;
     }
 
-    const auto& site = world::server_sites().at(rec.site);
+    const auto& site = world::server_sites().at(task.record.site);
     faults::PlayFaults pf;
     if (mechanistic) {
       // Access time over the measurement campaign. With a population plan,
@@ -213,21 +251,24 @@ std::vector<TraceRecord> RealTracer::run_user(
       // slot — noisier, but still far tighter than independent draws.
       double pos;
       if (site_base != nullptr) {
-        const int rank = (*site_base)[rec.site] + site_seen[rec.site];
-        pos = (rank + 0.5) / site_access_total_[rec.site];
+        const int rank = (*site_base)[task.record.site] +
+                         site_seen[task.record.site];
+        pos = (rank + 0.5) / site_access_total_[task.record.site];
       } else {
         constexpr double kGolden = 0.6180339887498949;
         const double slot = std::fmod(
             static_cast<double>(user.id + 1) * kGolden, 1.0);
-        pos = (site_seen[rec.site] + slot) / site_mine[rec.site];
+        pos = (site_seen[task.record.site] + slot) /
+              site_mine[task.record.site];
       }
-      ++site_seen[rec.site];
+      ++site_seen[task.record.site];
       const SimTime access_time = seconds_to_sim(
           to_seconds(config_.faults.campaign_duration) * pos);
-      pf.server_unreachable = outages_.unavailable_at(rec.site, access_time);
+      pf.server_unreachable =
+          outages_.unavailable_at(task.record.site, access_time);
     } else if (play_rng.bernoulli(site.unavailability)) {
-      rec.available = false;  // Fig 10: clip unreachable this time
-      records.push_back(std::move(rec));
+      task.record.available = false;  // Fig 10: clip unreachable this time
+      plan.tasks.push_back(std::move(task));
       continue;
     }
     if (config_.faults.enabled) {
@@ -237,18 +278,53 @@ std::vector<TraceRecord> RealTracer::run_user(
       pf.link_faults = drawn.link_faults;
     }
 
-    const bool force_tcp =
-        play_rng.bernoulli(config_.direct_tcp_probability);
-    rec = run_single(user, playlist_index, play_rng.next_u64(), force_tcp,
-                     config_.faults.enabled ? &pf : nullptr);
+    task.force_tcp = play_rng.bernoulli(config_.direct_tcp_probability);
+    task.play_seed = play_rng.next_u64();
+    task.needs_sim = true;
+    task.has_faults = config_.faults.enabled;
+    task.faults = std::move(pf);
+    task.rate = std::binary_search(to_rate.begin(), to_rate.end(),
+                                   static_cast<std::size_t>(i));
+    task.rater = rater;
+    task.post_rng = play_rng;
+    task.est_cost = estimate_cost(config_, user, task.faults.server_unreachable);
+    plan.tasks.push_back(std::move(task));
+  }
+}
 
-    const bool rate_this =
-        std::binary_search(to_rate.begin(), to_rate.end(),
-                           static_cast<std::size_t>(i));
-    if (rate_this && rec.analyzable()) {
-      rec.rating = rate_clip(rater, rec.stats, play_rng);
-    }
-    records.push_back(std::move(rec));
+StudyPlan RealTracer::build_plan(const std::vector<world::UserProfile>& users,
+                                 std::uint64_t study_seed) const {
+  StudyPlan plan;
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    plan_user(users[u], study_seed, static_cast<std::uint32_t>(u), plan);
+  }
+  finalize_order(plan);
+  return plan;
+}
+
+TraceRecord RealTracer::run_play(const PlayTask& task,
+                                 const world::UserProfile& user,
+                                 PlayContext& ctx) const {
+  if (!task.needs_sim) return task.record;
+  TraceRecord rec =
+      run_session(ctx, user, task.playlist_index, task.play_seed,
+                  task.force_tcp, task.has_faults ? &task.faults : nullptr);
+  if (task.rate && rec.analyzable()) {
+    util::Rng rng = task.post_rng;
+    rec.rating = rate_clip(task.rater, rec.stats, rng);
+  }
+  return rec;
+}
+
+std::vector<TraceRecord> RealTracer::run_user(
+    const world::UserProfile& user, std::uint64_t study_seed) const {
+  StudyPlan plan;
+  plan_user(user, study_seed, 0, plan);
+  PlayContext ctx;
+  std::vector<TraceRecord> records;
+  records.reserve(plan.tasks.size());
+  for (const PlayTask& task : plan.tasks) {
+    records.push_back(run_play(task, user, ctx));
   }
   return records;
 }

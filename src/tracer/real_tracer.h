@@ -11,6 +11,7 @@
 #include "faults/schedule.h"
 #include "media/catalog.h"
 #include "server/real_server.h"
+#include "tracer/play_plan.h"
 #include "tracer/record.h"
 #include "world/path_builder.h"
 #include "world/region_graph.h"
@@ -42,14 +43,51 @@ struct TracerConfig {
   faults::FaultConfig faults;
 };
 
+// Reusable per-worker execution state. The Simulator and the path scratch
+// outlive individual plays: event-slot chunks, the heap buffer, the packet
+// pool's slot storage and the cross-traffic vector capacity are all retained
+// across sessions, so steady-state plays allocate ~nothing. One context per
+// worker thread; contexts must never be shared concurrently.
+struct PlayContext {
+  sim::Simulator sim;
+  world::PlayPath path;  // path.network, when reused, schedules into `sim`
+
+  PlayContext() = default;
+  PlayContext(const PlayContext&) = delete;
+  PlayContext& operator=(const PlayContext&) = delete;
+};
+
 class RealTracer {
  public:
   RealTracer(const media::Catalog& catalog, const world::RegionGraph& graph,
              const TracerConfig& config);
 
   // Runs the user's whole playlist; deterministic in (user, study_seed).
+  // Implemented as plan_user + run_play over one context, so it is the
+  // serial reference for the parallel executor by construction.
   std::vector<TraceRecord> run_user(const world::UserProfile& user,
                                     std::uint64_t study_seed) const;
+
+  // Planning pass: serially precomputes everything coupled across this
+  // user's plays (per-play rng forks, the rate-this-clip set, the rater
+  // profile, mechanistic-unavailability site ranks, fault draws, force-TCP
+  // decisions) and appends one self-contained PlayTask per play to
+  // `plan.tasks` (record_slot = position in plan.tasks). Pure: consumes no
+  // state shared with other users beyond the access-time plan.
+  void plan_user(const world::UserProfile& user, std::uint64_t study_seed,
+                 std::uint32_t user_index, StudyPlan& plan) const;
+
+  // Plans the whole population (tasks in user-major, play-minor record
+  // order) and finalizes the cost-descending execution order.
+  StudyPlan build_plan(const std::vector<world::UserProfile>& users,
+                       std::uint64_t study_seed) const;
+
+  // Execution pass: runs one planned play in `ctx` and returns its record.
+  // `user` must be the profile plan_user saw for task.user_index. Safe to
+  // call from multiple threads with distinct contexts; tasks may execute in
+  // any order — the result depends only on the task.
+  TraceRecord run_play(const PlayTask& task, const world::UserProfile& user,
+                       PlayContext& ctx) const;
 
   // Mechanistic unavailability samples each play's access time on the
   // campaign timeline. Given the (already play-scaled) population, this
@@ -75,6 +113,13 @@ class RealTracer {
   const faults::SiteOutageTable& outages() const { return outages_; }
 
  private:
+  // The streaming-session core shared by run_single and run_play: resets
+  // `ctx`, rebuilds the path in place, and simulates one play.
+  TraceRecord run_session(PlayContext& ctx, const world::UserProfile& user,
+                          std::size_t playlist_index, std::uint64_t play_seed,
+                          bool force_tcp,
+                          const faults::PlayFaults* play_faults) const;
+
   const media::Catalog& catalog_;
   const world::RegionGraph& graph_;
   TracerConfig config_;
