@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "media/catalog.h"
+#include "obs/trace.h"
 #include "media/frame_schedule.h"
 #include "media/packetizer.h"
 #include "net/network.h"
@@ -202,6 +203,42 @@ void BM_PacketizeReassemble(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PacketizeReassemble);
+
+void BM_ObsHookDisabled(benchmark::State& state) {
+  // Cost of 1000 emit+count hook pairs with no sink installed — the
+  // tracing-off tax every hot-path call site pays. scripts/run_bench.py
+  // --obs-overhead-check divides this per-pair cost into the measured
+  // per-hop cost of BM_PacketForwardingChain to bound total overhead <2%.
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      obs::emit(i, obs::Code::kFrameDrop, static_cast<std::uint64_t>(i), 0);
+      obs::count(obs::Counter::kPacketsEnqueued);
+      // Compiler barrier: without it the thread-local load is hoisted and
+      // the whole loop folds to nothing, measuring zero instead of the
+      // per-call-site load+branch that real hook sites pay.
+      benchmark::ClobberMemory();
+    }
+    benchmark::DoNotOptimize(obs::current_sink());
+  }
+}
+BENCHMARK(BM_ObsHookDisabled);
+
+void BM_ObsHookEnabled(benchmark::State& state) {
+  // Same loop with a live sink: ring write + counter add per pair. Not
+  // gated — tracing on is an explicitly requested mode — but tracked so a
+  // regression is visible.
+  obs::PlaySink sink;
+  sink.reset(4096);
+  obs::ScopedSink scope(&sink);
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      obs::emit(i, obs::Code::kFrameDrop, static_cast<std::uint64_t>(i), 0);
+      obs::count(obs::Counter::kPacketsEnqueued);
+    }
+    benchmark::DoNotOptimize(sink.buffer.total_emitted());
+  }
+}
+BENCHMARK(BM_ObsHookEnabled);
 
 void BM_CdfBuildAndQuery(benchmark::State& state) {
   util::Rng rng(7);

@@ -27,6 +27,16 @@ Modes:
              cheap CI gate: run a --smoke-scale mini-study at 1 and 2
              threads and fail if the cache md5s differ. Needs only the
              realdata binary; skips the microbenches entirely.
+  --obs-overhead-check
+             cheap CI gate for the tracing hooks: measure the disabled-hook
+             cost (BM_ObsHookDisabled) and fail if the worst-case hook tax
+             on the packet-forwarding hot path exceeds --obs-tolerance
+             (default 2%). Runs only the three benchmarks it needs.
+  --trace-smoke
+             cheap CI gate for --trace: run a mini-study with and without
+             --trace, validate the emitted Chrome trace JSON, check the
+             cache md5 is identical either way, and check that malformed
+             numeric flags exit non-zero. Needs only the realdata binary.
 
 With no mode flag it measures and prints, changing nothing.
 
@@ -71,8 +81,20 @@ CALIBRATION = "BM_CdfBuildAndQuery"
 EVENTS_PER_SCHEDULE_RUN = 1000  # events per BM_SimulatorScheduleRun iteration
 PACKETS_PER_FORWARD_ITER = 100  # packets per BM_PacketForwardingChain iteration
 
+# Observability-hook accounting for --obs-overhead-check.
+# BM_ObsHookDisabled runs this many emit+count pairs per iteration:
+HOOK_PAIRS_PER_OBS_ITER = 1000
+# BM_PacketForwardingChain/8 forwards 100 packets over 8 hops; each hop-send
+# hits one obs::count() hook in net::Link::send. Pricing each call at the
+# full emit+count *pair* cost overstates the tax, making the gate an upper
+# bound:
+HOOK_CALLS_PER_FORWARD_ITER_8 = 800
+# The event kernel itself (BM_SimulatorScheduleRun) contains no obs hooks by
+# construction — per-play sim_events are counted once per play from the
+# simulator's own executed-events tally, not per event.
 
-def run_microbench(binary, repetitions, min_time):
+
+def run_microbench(binary, repetitions, min_time, bench_filter=None):
     """Runs the bench binary `repetitions` times; returns {name: min_ns}."""
     best = {}
     for rep in range(repetitions):
@@ -84,6 +106,8 @@ def run_microbench(binary, repetitions, min_time):
                 "--benchmark_out=%s" % out.name,
                 "--benchmark_min_time=%g" % min_time,
             ]
+            if bench_filter:
+                cmd.append("--benchmark_filter=%s" % bench_filter)
             subprocess.run(
                 cmd, check=True, stdout=subprocess.DEVNULL,
                 stderr=subprocess.DEVNULL)
@@ -155,7 +179,15 @@ def main():
                     help="run a mini-study at 1 and 2 threads; fail if the "
                          "cache md5s differ (cheap CI determinism gate)")
     ap.add_argument("--smoke-scale", type=float, default=0.02,
-                    help="play_scale for --determinism-smoke")
+                    help="play_scale for --determinism-smoke/--trace-smoke")
+    ap.add_argument("--obs-overhead-check", action="store_true",
+                    help="fail if the disabled tracing hooks cost more than "
+                         "--obs-tolerance of the packet-forwarding hot path")
+    ap.add_argument("--obs-tolerance", type=float, default=0.02,
+                    help="max allowed disabled-hook overhead fraction")
+    ap.add_argument("--trace-smoke", action="store_true",
+                    help="run a mini-study with --trace; validate the JSON, "
+                         "cache-md5 invariance, and strict flag parsing")
     ap.add_argument("--seed", type=int, default=2001)
     ap.add_argument("--threads", type=int, default=4)
     args = ap.parse_args()
@@ -179,6 +211,89 @@ def main():
                      (digests[1], digests[2], args.smoke_scale, args.seed))
         print("determinism smoke passed: 1- and 2-thread mini-studies are "
               "byte-identical (md5 %s)" % digests[1])
+        return
+
+    if args.trace_smoke:
+        if not os.path.exists(args.realdata_binary):
+            sys.exit("realdata binary not found: %s (build Release first)" %
+                     args.realdata_binary)
+        # Malformed numeric flags must exit non-zero, not silently truncate.
+        for bad in (["summary", "--seed=20o1"],
+                    ["summary", "--scale=0.5x"],
+                    ["summary", "--trace"]):  # --trace needs a path
+            proc = subprocess.run(
+                [args.realdata_binary] + bad, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL)
+            if proc.returncode == 0:
+                sys.exit("trace smoke FAILED: %r exited 0, expected a "
+                         "non-zero strict-parsing failure" % bad)
+        scratch = tempfile.mkdtemp(prefix="rv_trace_smoke_")
+        try:
+            digests = {}
+            trace_doc = None
+            for traced in (False, True):
+                cmd = [args.realdata_binary, "summary",
+                       "--seed", str(args.seed), "--threads", "2",
+                       "--scale", "%g" % args.smoke_scale]
+                if traced:
+                    cmd += ["--trace", "trace.json"]
+                subprocess.run(cmd, check=True, cwd=scratch,
+                               stdout=subprocess.DEVNULL,
+                               stderr=subprocess.DEVNULL)
+                caches = sorted(f for f in os.listdir(scratch)
+                                if f.endswith(".cache"))
+                if len(caches) != 1:
+                    raise RuntimeError(
+                        "expected one .cache file, got %r" % caches)
+                digests[traced] = hashlib.md5(open(
+                    os.path.join(scratch, caches[0]), "rb").read()
+                ).hexdigest()
+                if traced:
+                    trace_doc = json.load(
+                        open(os.path.join(scratch, "trace.json")))
+            if digests[False] != digests[True]:
+                sys.exit("trace smoke FAILED: cache md5 with tracing on %s "
+                         "!= off %s — observation perturbed the study" %
+                         (digests[True], digests[False]))
+            events = trace_doc.get("traceEvents")
+            if not isinstance(events, list) or not events:
+                sys.exit("trace smoke FAILED: trace.json has no traceEvents")
+            phases = {e.get("ph") for e in events}
+            if not phases & {"B", "i", "X"}:
+                sys.exit("trace smoke FAILED: no span/instant events in "
+                         "trace.json (phases seen: %r)" % sorted(phases))
+            print("trace smoke passed: %d trace events, cache md5 invariant "
+                  "under tracing (md5 %s), strict flags exit non-zero" %
+                  (len(events), digests[False]))
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        return
+
+    if args.obs_overhead_check:
+        if not os.path.exists(args.bench_binary):
+            sys.exit("bench binary not found: %s (build Release first)" %
+                     args.bench_binary)
+        wanted = "^(BM_ObsHookDisabled|BM_PacketForwardingChain/8)$"
+        print("measuring disabled-hook overhead (x%d reps)..." %
+              args.repetitions, file=sys.stderr)
+        results = run_microbench(args.bench_binary, args.repetitions,
+                                 args.min_time, bench_filter=wanted)
+        try:
+            pair_ns = results["BM_ObsHookDisabled"] / HOOK_PAIRS_PER_OBS_ITER
+            forward_ns = results["BM_PacketForwardingChain/8"]
+        except KeyError as missing:
+            sys.exit("obs overhead check FAILED: benchmark %s not found "
+                     "(stale bench binary?)" % missing)
+        tax_ns = pair_ns * HOOK_CALLS_PER_FORWARD_ITER_8
+        ratio = tax_ns / forward_ns
+        print("disabled hook pair %.3f ns; forwarding-chain tax upper bound "
+              "%.0f ns / %.0f ns = %.2f%% (event kernel: 0 hooks, 0.00%%)" %
+              (pair_ns, tax_ns, forward_ns, ratio * 100.0))
+        if ratio > args.obs_tolerance:
+            sys.exit("obs overhead check FAILED: %.2f%% > %.0f%% budget" %
+                     (ratio * 100.0, args.obs_tolerance * 100.0))
+        print("obs overhead check passed: %.2f%% <= %.0f%% budget" %
+              (ratio * 100.0, args.obs_tolerance * 100.0))
         return
 
     if not os.path.exists(args.bench_binary):

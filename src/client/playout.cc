@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "stats/summary.h"
 #include "util/check.h"
 
@@ -38,6 +39,10 @@ void PlayoutEngine::on_frame(
   if (state_ == State::kDone) return;
   if (playout_started_ && frame.pts < play_pos_) {
     ++late_drops_;  // arrived after its slot passed
+    obs::emit(sim_.now(), obs::Code::kFrameDrop,
+              static_cast<std::uint64_t>(frame.pts),
+              static_cast<std::uint64_t>(play_pos_ - frame.pts));
+    obs::count(obs::Counter::kFrameDrops);
     return;
   }
   buffer_.emplace(frame.pts, frame);
@@ -82,6 +87,9 @@ void PlayoutEngine::begin_playout() {
   state_ = State::kPlaying;
   playout_started_ = true;
   wall_start_ = sim_.now();
+  obs::emit(sim_.now(), obs::Code::kPrerollDone,
+            static_cast<std::uint64_t>(sim_.now() - start_time_),
+            buffer_.size());
   media_start_ = buffer_.begin()->first;
   play_pos_ = media_start_;
   // The decoder starts idle: place its "busy until" well in the past so the
@@ -166,6 +174,10 @@ void PlayoutEngine::enter_rebuffer() {
   state_ = State::kRebuffering;
   stall_start_ = sim_.now();
   ++rebuffer_events_;
+  obs::emit(sim_.now(), obs::Code::kRebufferStart,
+            static_cast<std::uint64_t>(rebuffer_events_),
+            static_cast<std::uint64_t>(frames_played_));
+  obs::count(obs::Counter::kRebuffers);
   // RealPlayer halts at most ~20 s, then plays whatever it has (or keeps
   // waiting if it has nothing at all — the tracer's stop bounds the wait).
   timer_event_ = sim_.schedule_in(config_.rebuffer_max_wait, [this] {
@@ -190,6 +202,8 @@ void PlayoutEngine::resume_from_rebuffer() {
   stall_accum_ += stall;
   rebuffer_total_ += stall;
   state_ = State::kPlaying;
+  obs::emit(sim_.now(), obs::Code::kRebufferStop,
+            static_cast<std::uint64_t>(stall), buffer_.size());
   // Jump the playout position to the first buffered frame: everything the
   // stall skipped over is gone.
   if (!buffer_.empty()) {
@@ -202,6 +216,10 @@ void PlayoutEngine::finish() {
   if (state_ == State::kDone) return;
   if (state_ == State::kRebuffering) {
     rebuffer_total_ += sim_.now() - stall_start_;
+    // Close the open rebuffer span so trace viewers don't draw it forever.
+    obs::emit(sim_.now(), obs::Code::kRebufferStop,
+              static_cast<std::uint64_t>(sim_.now() - stall_start_),
+              buffer_.size());
   }
   state_ = State::kDone;
   sim_.cancel(frame_event_);

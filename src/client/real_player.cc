@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "server/real_server.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -11,6 +12,10 @@ namespace rv::client {
 namespace {
 
 constexpr net::Port kClientDataPort = 6970;  // RealPlayer's default
+
+// Reason codes for kRtspFallback trace events (arg a1).
+constexpr std::uint64_t kFallbackLadderExhausted = 0;  // retry budget spent
+constexpr std::uint64_t kFallbackUdpProbeTimeout = 1;  // no UDP data arrived
 
 }  // namespace
 
@@ -131,6 +136,10 @@ void RealPlayerApp::on_attempt_failed() {
   abort_attempt_connections();
   if (const auto backoff = retry_.next_backoff()) {
     ++stats_.rtsp_retries;
+    obs::emit(network_.simulator().now(), obs::Code::kRtspRetry,
+              static_cast<std::uint64_t>(stats_.rtsp_retries),
+              static_cast<std::uint64_t>(*backoff));
+    obs::count(obs::Counter::kRtspRetries);
     retry_timer_ = network_.simulator().schedule_in(*backoff, [this] {
       retry_timer_ = sim::kInvalidEventId;
       start_attempt();
@@ -146,10 +155,16 @@ void RealPlayerApp::advance_plan() {
     plan_ = TransportPlan::kTcp;
     fallback_done_ = true;
     stats_.fell_back_to_tcp = true;
+    obs::emit(network_.simulator().now(), obs::Code::kRtspFallback, 1,
+              kFallbackLadderExhausted);
+    obs::gauge_max(obs::Counter::kFallbackDepth, 1);
   } else if (plan_ == TransportPlan::kTcp && config_.http_cloak_fallback &&
              config_.http_port != 0) {
     plan_ = TransportPlan::kHttpCloak;
     stats_.fell_back_to_http = true;
+    obs::emit(network_.simulator().now(), obs::Code::kRtspFallback, 2,
+              kFallbackLadderExhausted);
+    obs::gauge_max(obs::Counter::kFallbackDepth, 2);
   } else {
     give_up();
     return;
@@ -405,6 +420,11 @@ void RealPlayerApp::handle_media(
       seen_any_seq_ = true;
       next_expected_seq_ = meta->seq + 1;
     } else if (meta->seq >= next_expected_seq_) {
+      if (meta->seq > next_expected_seq_) {
+        obs::emit(network_.simulator().now(), obs::Code::kUdpLossBurst,
+                  meta->seq - next_expected_seq_, next_expected_seq_);
+        obs::count(obs::Counter::kUdpLossGaps);
+      }
       for (std::uint32_t s = next_expected_seq_;
            s < meta->seq && missing_seqs_.size() < 64; ++s) {
         missing_seqs_.insert(s);
@@ -477,6 +497,9 @@ void RealPlayerApp::fall_back_to_tcp() {
   if (fallback_done_ || finished_) return;
   fallback_done_ = true;
   stats_.fell_back_to_tcp = true;
+  obs::emit(network_.simulator().now(), obs::Code::kRtspFallback, 1,
+            kFallbackUdpProbeTimeout);
+  obs::gauge_max(obs::Counter::kFallbackDepth, 1);
   stats_.protocol = net::Protocol::kTcp;
   plan_ = TransportPlan::kTcp;
   retry_.reset();       // fresh attempt budget for the TCP plan

@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace rv::faults {
@@ -51,6 +52,15 @@ LinkFaultInjector::LinkFaultInjector(net::Network& network,
     RV_CHECK_LT(spec.link_index, network.link_count());
     RV_CHECK_GE(spec.start, 0);
     RV_CHECK_GT(spec.duration, 0);
+    // Activation record, stamped with the window's start time so the trace
+    // shows the fault where it bites, not at play setup.
+    if (spec.kind == LinkFaultKind::kDown) {
+      obs::emit(spec.start, obs::Code::kFaultBlackhole, spec.link_index,
+                static_cast<std::uint64_t>(spec.duration));
+    } else {
+      obs::emit(spec.start, obs::Code::kFaultCorruption, spec.link_index,
+                static_cast<std::uint64_t>(spec.loss_rate * 1e6));
+    }
     by_link[spec.link_index].push_back(spec);
   }
   for (auto& [index, link_specs] : by_link) {

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace rv::net {
@@ -22,9 +23,11 @@ LinkDirection::LinkDirection(sim::Simulator& sim, BitsPerSec rate,
 
 void LinkDirection::send(PooledPacket packet) {
   RV_CHECK_GT(packet->size_bytes, 0);
+  obs::count(obs::Counter::kPacketsEnqueued);
   if (fault_ != nullptr && fault_(*packet, sim_.now())) {
     ++stats_.packets_faulted;
     ++stats_.packets_dropped;
+    obs::count(obs::Counter::kPacketsCorrupted);
     return;
   }
   if (busy_) {
@@ -33,10 +36,12 @@ void LinkDirection::send(PooledPacket packet) {
     if (red_ != nullptr &&
         red_->should_drop(queued_bytes_, packet->size_bytes)) {
       ++stats_.packets_dropped;
+      obs::count(obs::Counter::kPacketsDropped);
       return;
     }
     if (queued_bytes_ + packet->size_bytes > queue_capacity_bytes_) {
       ++stats_.packets_dropped;
+      obs::count(obs::Counter::kPacketsDropped);
       return;
     }
     queued_bytes_ += packet->size_bytes;

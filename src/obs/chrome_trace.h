@@ -1,0 +1,38 @@
+// Chrome trace_event JSON export for per-play observability data.
+//
+// Produces the JSON Object Format ({"traceEvents": [...]}) consumed by
+// chrome://tracing and ui.perfetto.dev. One track per play: pid groups a
+// user's plays, tid is the play's index within the user's session, and
+// metadata events carry human-readable names. Rebuffer start/stop become
+// duration ("B"/"E") spans; every other trace event is an instant ("i").
+// Counter totals ride along in the track's thread_name metadata args.
+//
+// Emission order is the caller's track order, and events within a track are
+// already merged in plan order, so the output bytes are identical no matter
+// how many worker threads produced the data.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace rv::obs {
+
+struct PlayTrack {
+  std::uint32_t pid = 0;  // user id
+  std::uint32_t tid = 0;  // play index within the user's session
+  std::string process_name;  // e.g. "user 12 (modem, US)"
+  std::string thread_name;   // e.g. "play 3 clip 45 site US/CNN"
+  const PlayObs* obs = nullptr;
+};
+
+// Renders the full trace document. Tracks with a null/disabled obs are
+// skipped (e.g. plays excluded by --trace-play).
+std::string chrome_trace_json(const std::vector<PlayTrack>& tracks);
+
+// Writes chrome_trace_json(tracks) to path. Returns false on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<PlayTrack>& tracks);
+
+}  // namespace rv::obs

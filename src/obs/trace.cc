@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+namespace rv::obs {
+
+namespace detail {
+thread_local PlaySink* tl_sink = nullptr;
+}  // namespace detail
+
+Cat cat_of(Code code) {
+  switch (code) {
+    case Code::kPrerollDone:
+    case Code::kRebufferStart:
+    case Code::kRebufferStop:
+    case Code::kFrameDrop:
+      return Cat::kClient;
+    case Code::kTcpState:
+    case Code::kTcpFastRetransmit:
+    case Code::kTcpTimeout:
+    case Code::kSackRetransmit:
+    case Code::kUdpLossBurst:
+      return Cat::kTransport;
+    case Code::kRtspRetry:
+    case Code::kRtspFallback:
+      return Cat::kRtsp;
+    case Code::kFaultOutage:
+    case Code::kFaultOverload:
+    case Code::kFaultBlackhole:
+    case Code::kFaultCorruption:
+      return Cat::kFault;
+    case Code::kCodeCount:
+      break;
+  }
+  return Cat::kClient;
+}
+
+const char* cat_name(Cat cat) {
+  switch (cat) {
+    case Cat::kClient:
+      return "client";
+    case Cat::kTransport:
+      return "transport";
+    case Cat::kRtsp:
+      return "rtsp";
+    case Cat::kFault:
+      return "fault";
+  }
+  return "unknown";
+}
+
+const char* code_name(Code code) {
+  switch (code) {
+    case Code::kPrerollDone:
+      return "preroll_done";
+    case Code::kRebufferStart:
+      return "rebuffer";
+    case Code::kRebufferStop:
+      return "rebuffer_end";
+    case Code::kFrameDrop:
+      return "frame_drop";
+    case Code::kTcpState:
+      return "tcp_state";
+    case Code::kTcpFastRetransmit:
+      return "tcp_fast_retransmit";
+    case Code::kTcpTimeout:
+      return "tcp_timeout";
+    case Code::kSackRetransmit:
+      return "sack_retransmit";
+    case Code::kUdpLossBurst:
+      return "udp_loss_burst";
+    case Code::kRtspRetry:
+      return "rtsp_retry";
+    case Code::kRtspFallback:
+      return "rtsp_fallback";
+    case Code::kFaultOutage:
+      return "fault_outage";
+    case Code::kFaultOverload:
+      return "fault_overload";
+    case Code::kFaultBlackhole:
+      return "fault_blackhole";
+    case Code::kFaultCorruption:
+      return "fault_corruption";
+    case Code::kCodeCount:
+      break;
+  }
+  return "unknown";
+}
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kPacketsEnqueued:
+      return "packets_enqueued";
+    case Counter::kPacketsDropped:
+      return "packets_dropped";
+    case Counter::kPacketsCorrupted:
+      return "packets_corrupted";
+    case Counter::kTcpRetransmits:
+      return "tcp_retransmits";
+    case Counter::kSackRetransmits:
+      return "sack_retransmits";
+    case Counter::kRtspRetries:
+      return "rtsp_retries";
+    case Counter::kFallbackDepth:
+      return "fallback_depth";
+    case Counter::kRebuffers:
+      return "rebuffers";
+    case Counter::kFrameDrops:
+      return "frame_drops";
+    case Counter::kUdpLossGaps:
+      return "udp_loss_gaps";
+    case Counter::kSimEvents:
+      return "sim_events";
+    case Counter::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+void Counters::merge(const Counters& other) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i == static_cast<std::size_t>(Counter::kFallbackDepth)) {
+      if (other.v[i] > v[i]) v[i] = other.v[i];
+    } else {
+      v[i] += other.v[i];
+    }
+  }
+}
+
+void TraceBuffer::reset(std::uint32_t capacity) {
+  if (capacity == 0) capacity = 1;
+  ring_.assign(capacity, TraceEvent{});
+  emitted_ = 0;
+}
+
+void TraceBuffer::clear() {
+  // Stale slots beyond emitted_ are never read back; no need to rezero.
+  emitted_ = 0;
+}
+
+void TraceBuffer::emit(SimTime t, Code code, std::uint64_t a0,
+                       std::uint64_t a1) {
+  TraceEvent& slot = ring_[emitted_ % ring_.size()];
+  slot.t = t;
+  slot.cat = static_cast<std::uint16_t>(cat_of(code));
+  slot.code = static_cast<std::uint16_t>(code);
+  slot.pad = 0;
+  slot.a0 = a0;
+  slot.a1 = a1;
+  ++emitted_;
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::uint64_t n = emitted_ < ring_.size() ? emitted_ : ring_.size();
+  out.reserve(n);
+  // Oldest surviving event first; when wrapped that is the slot after the
+  // most recent write.
+  const std::uint64_t start = emitted_ - n;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+}  // namespace rv::obs

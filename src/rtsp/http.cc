@@ -1,5 +1,6 @@
 #include "rtsp/http.h"
 
+#include <charconv>
 #include <sstream>
 
 #include "util/strings.h"
@@ -75,8 +76,15 @@ std::optional<HttpResponse> parse_http_response(std::string_view text) {
   }
   const auto parts = util::split(start_line, ' ');
   if (parts.size() < 2 || parts[0] != kHttpVersion) return std::nullopt;
-  resp.status = std::atoi(parts[1].c_str());
-  if (resp.status == 0) return std::nullopt;
+  // Status must be exactly three digits ("2xx", "-1", "0200" all invalid).
+  const std::string& code = parts[1];
+  if (code.size() != 3) return std::nullopt;
+  int status = 0;
+  const auto [ptr, ec] = std::from_chars(code.data(), code.data() + 3, status);
+  if (ec != std::errc() || ptr != code.data() + 3 || status < 100) {
+    return std::nullopt;
+  }
+  resp.status = status;
   return resp;
 }
 

@@ -167,6 +167,7 @@ void Simulator::reset() {
   live_ = 0;
   now_ = 0;
   next_seq_ = 1;
+  executed_ = 0;
 }
 
 bool Simulator::step() {
@@ -183,6 +184,7 @@ bool Simulator::step() {
     s.seq_slot = 0;
     if (++s.gen == 0) s.gen = 1;
     --live_;
+    ++executed_;
     now_ = e.at();
     s.fn();
     s.fn = EventFn();

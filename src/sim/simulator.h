@@ -97,6 +97,9 @@ class Simulator {
 
   // Live (scheduled, not yet fired or cancelled) events.
   std::size_t pending_events() const { return live_; }
+  // Callbacks fired since construction or the last reset(). Cheap run-size
+  // telemetry for the observability layer (per-play sim_events counter).
+  std::uint64_t events_executed() const { return executed_; }
 
   // Introspection for tests and benches: total slots ever allocated (bounded
   // by the peak number of simultaneously pending events, regardless of how
@@ -205,6 +208,7 @@ class Simulator {
   std::size_t slot_count_ = 0;  // constructed slots (pool high-water mark)
   std::vector<std::uint32_t> free_slots_;
   std::size_t live_ = 0;
+  std::uint64_t executed_ = 0;
 };
 
 }  // namespace rv::sim

@@ -1,11 +1,17 @@
 #include "stats/correlation.h"
 
 #include <cmath>
+#include <limits>
 
 #include "stats/summary.h"
 #include "util/check.h"
 
 namespace rv::stats {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
 
 double pearson(std::span<const double> xs, std::span<const double> ys) {
   RV_CHECK_EQ(xs.size(), ys.size());
@@ -22,8 +28,8 @@ double pearson(std::span<const double> xs, std::span<const double> ys) {
     sxx += dx * dx;
     syy += dy * dy;
   }
-  RV_CHECK_GT(sxx, 0.0);
-  RV_CHECK_GT(syy, 0.0);
+  // A constant series has no linear association to measure; r is undefined.
+  if (sxx <= 0.0 || syy <= 0.0) return kNaN;
   return sxy / std::sqrt(sxx * syy);
 }
 
@@ -38,11 +44,17 @@ LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
     sxy += (xs[i] - mx) * (ys[i] - my);
     sxx += (xs[i] - mx) * (xs[i] - mx);
   }
-  RV_CHECK_GT(sxx, 0.0);
   LinearFit fit{};
+  if (sxx <= 0.0) {
+    // Vertical data: no OLS line exists. NaN everywhere, caller renders n/a.
+    fit.slope = kNaN;
+    fit.intercept = kNaN;
+    fit.r = kNaN;
+    return fit;
+  }
   fit.slope = sxy / sxx;
   fit.intercept = my - fit.slope * mx;
-  fit.r = pearson(xs, ys);
+  fit.r = pearson(xs, ys);  // NaN when ys is constant
   return fit;
 }
 

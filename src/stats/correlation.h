@@ -5,7 +5,9 @@
 
 namespace rv::stats {
 
-// Pearson correlation coefficient; requires equal-sized, non-degenerate data.
+// Pearson correlation coefficient; requires equal-sized data with at least
+// two points. Returns quiet NaN when either series has zero variance (a
+// constant series has no defined correlation) -- callers render it as n/a.
 double pearson(std::span<const double> xs, std::span<const double> ys);
 
 struct LinearFit {
@@ -14,7 +16,9 @@ struct LinearFit {
   double r;  // Pearson correlation of the fit
 };
 
-// Ordinary least squares y = slope*x + intercept.
+// Ordinary least squares y = slope*x + intercept. When xs has zero variance
+// every field is quiet NaN; when only ys is constant the line is exact
+// (slope 0) but r is NaN.
 LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
 
 }  // namespace rv::stats

@@ -6,6 +6,15 @@
 
 namespace rv::study {
 
+obs::Counters counter_totals(
+    const std::vector<tracer::TraceRecord>& records) {
+  obs::Counters totals;
+  for (const auto& rec : records) {
+    if (rec.obs.enabled) totals.merge(rec.obs.counters);
+  }
+  return totals;
+}
+
 std::vector<double> frame_rates(const Records& records) {
   std::vector<double> out;
   out.reserve(records.size());

@@ -15,6 +15,10 @@ namespace rv::study {
 
 using Records = std::vector<const tracer::TraceRecord*>;
 
+// Study-level observability rollup: sums each observed play's counters
+// (gauges take the max). Zero when tracing was off.
+obs::Counters counter_totals(const std::vector<tracer::TraceRecord>& records);
+
 // Metric extractors ---------------------------------------------------------
 std::vector<double> frame_rates(const Records& records);
 std::vector<double> jitters_ms(const Records& records);

@@ -230,10 +230,12 @@ std::optional<StudyResult> load_result(const std::string& path,
   return result;
 }
 
-StudyResult run_study_cached(const StudyConfig& config) {
+StudyResult run_study_cached(const StudyConfig& config, bool force_run) {
   const std::string path = default_cache_path(config);
-  if (auto cached = load_result(path, config)) {
-    return std::move(*cached);
+  if (!force_run) {
+    if (auto cached = load_result(path, config)) {
+      return std::move(*cached);
+    }
   }
   StudyResult result = run_study(config);
   save_result(path, config, result);

@@ -25,7 +25,11 @@ std::optional<StudyResult> load_result(const std::string& path,
                                        const StudyConfig& config);
 
 // Loads from the default path when fresh, otherwise runs the study and
-// saves. Benches call this.
-StudyResult run_study_cached(const StudyConfig& config);
+// saves. Benches call this. `force_run` skips the load (but still saves):
+// needed when callers want fresh in-memory-only state — e.g. per-play
+// traces, which a cache hit cannot supply because they are never
+// serialized. The saved bytes are identical either way.
+StudyResult run_study_cached(const StudyConfig& config,
+                             bool force_run = false);
 
 }  // namespace rv::study

@@ -2,6 +2,7 @@
 #include <cmath>
 
 #include <algorithm>
+#include <optional>
 
 #include "client/real_player.h"
 #include "tracer/rating.h"
@@ -85,8 +86,16 @@ void RealTracer::plan_access_times(
 TraceRecord RealTracer::run_session(
     PlayContext& ctx, const world::UserProfile& user,
     std::size_t playlist_index, std::uint64_t play_seed, bool force_tcp,
-    const faults::PlayFaults* play_faults) const {
+    const faults::PlayFaults* play_faults, bool observe) const {
   TraceRecord rec = base_record(user, catalog_, playlist_index);
+  // Install the context's sink for the whole session so every hook below
+  // (path, server, client, faults) records into this play. Purely
+  // observational: no rng draw or event order depends on it.
+  std::optional<obs::ScopedSink> obs_scope;
+  if (observe) {
+    ctx.sink.reset(config_.obs.ring_capacity);
+    obs_scope.emplace(&ctx.sink);
+  }
   const auto& site = world::server_sites().at(rec.site);
   util::Rng rng(play_seed);
 
@@ -113,6 +122,8 @@ TraceRecord RealTracer::run_session(
   server_cfg.sender.preroll_media_seconds = config_.preroll_media_seconds;
   if (play_faults != nullptr && play_faults->overload_stall_until > 0) {
     server_cfg.response_stall_until = play_faults->overload_stall_until;
+    obs::emit(0, obs::Code::kFaultOverload,
+              static_cast<std::uint64_t>(play_faults->overload_stall_until));
   }
   server::RealServerApp server(*path.network, path.server_node, catalog_,
                                server_cfg, rng.fork("server"));
@@ -142,6 +153,7 @@ TraceRecord RealTracer::run_session(
     if (play_faults->server_unreachable) {
       // Site outage: its access segment blackholes for the whole play; the
       // client's retry ladder exhausts and reports the clip unavailable.
+      obs::emit(0, obs::Code::kFaultOutage, rec.site);
       faults::LinkFaultSpec down;
       down.link_index = world::PlayPath::kServerAccess;
       down.kind = faults::LinkFaultKind::kDown;
@@ -160,6 +172,14 @@ TraceRecord RealTracer::run_session(
 
   rec.available = !player.clip_unavailable();
   rec.stats = player.stats();
+  if (observe) {
+    obs_scope.reset();  // stop recording before the snapshot
+    ctx.sink.counters.add(obs::Counter::kSimEvents, sim.events_executed());
+    rec.obs.enabled = true;
+    rec.obs.events = ctx.sink.buffer.snapshot();
+    rec.obs.events_dropped = ctx.sink.buffer.dropped();
+    rec.obs.counters = ctx.sink.counters;
+  }
   return rec;
 }
 
@@ -169,8 +189,13 @@ TraceRecord RealTracer::run_single(const world::UserProfile& user,
                                    bool force_tcp,
                                    const faults::PlayFaults* play_faults) const {
   PlayContext ctx;
+  // Standalone plays have no per-user play index; the playlist index
+  // doubles as the --trace-play match key.
+  const bool observe = config_.obs.selects(
+      static_cast<std::uint32_t>(user.id),
+      static_cast<std::uint32_t>(playlist_index));
   return run_session(ctx, user, playlist_index, play_seed, force_tcp,
-                     play_faults);
+                     play_faults, observe);
 }
 
 void RealTracer::plan_user(const world::UserProfile& user,
@@ -306,9 +331,12 @@ TraceRecord RealTracer::run_play(const PlayTask& task,
                                  const world::UserProfile& user,
                                  PlayContext& ctx) const {
   if (!task.needs_sim) return task.record;
+  const bool observe = config_.obs.selects(
+      static_cast<std::uint32_t>(user.id), task.play_index);
   TraceRecord rec =
       run_session(ctx, user, task.playlist_index, task.play_seed,
-                  task.force_tcp, task.has_faults ? &task.faults : nullptr);
+                  task.force_tcp, task.has_faults ? &task.faults : nullptr,
+                  observe);
   if (task.rate && rec.analyzable()) {
     util::Rng rng = task.post_rng;
     rec.rating = rate_clip(task.rater, rec.stats, rng);

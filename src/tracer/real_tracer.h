@@ -41,6 +41,9 @@ struct TracerConfig {
   // Deterministic fault injection (outage schedules, overload stalls, link
   // faults). Off by default: the legacy Bernoulli availability model runs.
   faults::FaultConfig faults;
+  // Per-play tracing + counters (docs/OBSERVABILITY.md). Excluded from the
+  // study-cache fingerprint: purely observational, never changes results.
+  obs::ObsConfig obs;
 };
 
 // Reusable per-worker execution state. The Simulator and the path scratch
@@ -51,6 +54,7 @@ struct TracerConfig {
 struct PlayContext {
   sim::Simulator sim;
   world::PlayPath path;  // path.network, when reused, schedules into `sim`
+  obs::PlaySink sink;    // reused ring + counters for observed plays
 
   PlayContext() = default;
   PlayContext(const PlayContext&) = delete;
@@ -115,10 +119,13 @@ class RealTracer {
  private:
   // The streaming-session core shared by run_single and run_play: resets
   // `ctx`, rebuilds the path in place, and simulates one play.
+  // `observe` installs ctx.sink for the play and snapshots it into the
+  // record's obs member.
   TraceRecord run_session(PlayContext& ctx, const world::UserProfile& user,
                           std::size_t playlist_index, std::uint64_t play_seed,
                           bool force_tcp,
-                          const faults::PlayFaults* play_faults) const;
+                          const faults::PlayFaults* play_faults,
+                          bool observe) const;
 
   const media::Catalog& catalog_;
   const world::RegionGraph& graph_;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "client/clip_stats.h"
+#include "obs/trace.h"
 #include "world/types.h"
 
 namespace rv::tracer {
@@ -30,6 +31,11 @@ struct TraceRecord {
   bool available = true;           // clip reachable (Fig 10)
   client::ClipStats stats;
   double rating = -1.0;            // 0..10; -1 = not rated
+
+  // Per-play trace + counters when tracing is enabled. In-memory only:
+  // deliberately never serialized into the study cache, so cache bytes (and
+  // the md5 the bench gate pins) are identical with tracing on or off.
+  obs::PlayObs obs;
 
   bool rated() const { return rating >= 0.0; }
   // A record that contributes to the performance analysis (played,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -37,7 +38,7 @@ void TcpConnection::connect(net::Endpoint remote) {
   local_port_ = mux_.allocate_port();
   mux_.bind_connected(net::Protocol::kTcp, local_port_, remote_, this);
   bound_connected_ = true;
-  state_ = State::kSynSent;
+  set_state(State::kSynSent);
   handshake_tries_ = 0;
   send_control(/*syn=*/true);
   handshake_event_ =
@@ -65,7 +66,7 @@ void TcpConnection::accept_from(net::Port local_port, net::Endpoint remote,
   remote_ = remote;
   mux_.bind_connected(net::Protocol::kTcp, local_port_, remote_, this);
   bound_connected_ = true;
-  state_ = State::kSynReceived;
+  set_state(State::kSynReceived);
   // SYN-ACK.
   net::Packet p;
   p.dst = remote_.node;
@@ -166,7 +167,7 @@ void TcpConnection::maybe_send_fin() {
   snd_nxt_ += 1;
   unacked_[seq] = seg;
   fin_sent_ = true;
-  state_ = State::kFinWait;
+  set_state(State::kFinWait);
 
   net::Packet p;
   p.dst = remote_.node;
@@ -206,7 +207,10 @@ void TcpConnection::send_segment(std::uint64_t seq, const Segment& seg,
     }
   }
   ++stats_.segments_sent;
-  if (is_retx) ++stats_.retransmits;
+  if (is_retx) {
+    ++stats_.retransmits;
+    obs::count(obs::Counter::kTcpRetransmits);
+  }
   mux_.send(std::move(p));
 }
 
@@ -309,9 +313,17 @@ void TcpConnection::handle_handshake(const net::Packet& packet) {
   }
 }
 
+void TcpConnection::set_state(State next) {
+  if (next == state_) return;
+  obs::emit(mux_.simulator().now(), obs::Code::kTcpState,
+            static_cast<std::uint64_t>(state_),
+            static_cast<std::uint64_t>(next));
+  state_ = next;
+}
+
 void TcpConnection::enter_established() {
   if (state_ == State::kEstablished || state_ == State::kFinWait) return;
-  state_ = State::kEstablished;
+  set_state(State::kEstablished);
   if (on_established_) on_established_();
 }
 
@@ -351,6 +363,9 @@ bool TcpConnection::retransmit_next_sack_hole() {
     seg.retransmitted = true;
     seg.retx_this_recovery = true;
     seg.sent_at = mux_.simulator().now();
+    obs::emit(mux_.simulator().now(), obs::Code::kSackRetransmit, seq,
+              highest_sacked_);
+    obs::count(obs::Counter::kSackRetransmits);
     send_segment(seq, seg, /*is_retx=*/true);
     return true;
   }
@@ -455,6 +470,8 @@ void TcpConnection::handle_ack(const net::Packet& packet) {
     ++dup_acks_;
     if (dup_acks_ == 3 && !in_recovery_) {
       ++stats_.fast_retransmits;
+      obs::emit(mux_.simulator().now(), obs::Code::kTcpFastRetransmit,
+                snd_una_, static_cast<std::uint64_t>(dup_acks_));
       ssthresh_ = std::max(static_cast<double>(flight_size()) / 2.0,
                            2.0 * static_cast<double>(config_.mss));
       in_recovery_ = true;
@@ -554,6 +571,8 @@ void TcpConnection::disarm_rto() {
 void TcpConnection::on_rto() {
   if (unacked_.empty()) return;
   ++stats_.timeouts;
+  obs::emit(mux_.simulator().now(), obs::Code::kTcpTimeout, snd_una_,
+            static_cast<std::uint64_t>(rto_));
   ssthresh_ = std::max(static_cast<double>(flight_size()) / 2.0,
                        2.0 * static_cast<double>(config_.mss));
   // RFC 2581 §3.1: after a timeout everything in flight is presumed lost.
@@ -569,7 +588,7 @@ void TcpConnection::on_rto() {
   highest_sacked_ = snd_una_;  // the SACK scoreboard is void after go-back
   if (fin_was_inflight) {
     fin_sent_ = false;
-    if (state_ == State::kFinWait) state_ = State::kEstablished;
+    if (state_ == State::kFinWait) set_state(State::kEstablished);
   }
   cwnd_ = static_cast<double>(config_.mss);
   in_recovery_ = false;
@@ -599,7 +618,7 @@ void TcpConnection::update_rtt(SimTime sample) {
 
 void TcpConnection::finish_close() {
   if (state_ == State::kClosed) return;
-  state_ = State::kClosed;
+  set_state(State::kClosed);
   disarm_rto();
   mux_.simulator().cancel(handshake_event_);
   mux_.simulator().cancel(pacing_event_);

@@ -146,6 +146,9 @@ class TcpConnection : public PacketSink {
   void handle_data(const net::Packet& packet);
 
   void enter_established();
+  // Every state change funnels through here so the transition lands in the
+  // play's trace (obs::Code::kTcpState).
+  void set_state(State next);
   void apply_sack_blocks(const net::TcpHeader& header);
   // SACK pipe estimate and hole retransmission during recovery.
   std::int64_t sack_pipe() const;

@@ -1,6 +1,6 @@
 #include "util/args.h"
 
-#include <cstdlib>
+#include <charconv>
 
 #include "util/strings.h"
 
@@ -8,9 +8,14 @@ namespace rv::util {
 
 Args::Args(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
+  bool flags_done = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+    if (!flags_done && arg == "--") {  // end-of-flags marker
+      flags_done = true;
+      continue;
+    }
+    if (flags_done || arg.size() < 3 || arg.substr(0, 2) != "--") {
       positional_.push_back(arg);
       continue;
     }
@@ -43,18 +48,44 @@ std::string Args::get_or(const std::string& key,
 double Args::get_double(const std::string& key, double fallback) const {
   const auto v = get(key);
   if (!v || v->empty()) return fallback;
-  return std::atof(v->c_str());
+  const auto parsed = parse_double(*v);
+  if (!parsed) {
+    errors_.push_back("--" + key + ": invalid numeric value '" + *v + "'");
+    return fallback;
+  }
+  return *parsed;
 }
 
 std::int64_t Args::get_int(const std::string& key,
                            std::int64_t fallback) const {
   const auto v = get(key);
   if (!v || v->empty()) return fallback;
-  return std::atoll(v->c_str());
+  const auto parsed = parse_int(*v);
+  if (!parsed) {
+    errors_.push_back("--" + key + ": invalid integer value '" + *v + "'");
+    return fallback;
+  }
+  return *parsed;
 }
 
 bool Args::has(const std::string& key) const {
   return values_.count(key) > 0;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view text) {
+  std::int64_t value = 0;
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  double value = 0.0;
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
 }
 
 }  // namespace rv::util

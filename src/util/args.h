@@ -1,12 +1,21 @@
 // Minimal command-line argument parser for the tools.
 //
 // Supports --flag, --key value and --key=value forms plus positional
-// arguments. Unknown flags are collected so tools can report them.
+// arguments. A bare "--" ends flag parsing; everything after it is
+// positional. Unknown flags are collected so tools can report them.
+//
+// Numeric accessors parse strictly (std::from_chars, full-token match).
+// A malformed value returns the fallback and records a diagnostic
+// retrievable via errors(); tools are expected to check errors() after
+// parsing their flags and exit non-zero instead of running with a
+// silently-wrong default.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace rv::util {
@@ -28,10 +37,21 @@ class Args {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  // Diagnostics accumulated by the numeric accessors (one human-readable
+  // line per malformed value). Empty when every queried flag parsed.
+  const std::vector<std::string>& errors() const { return errors_; }
+
  private:
   std::string program_;
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+  // Numeric accessors are const; diagnostics are a side channel.
+  mutable std::vector<std::string> errors_;
 };
+
+// Strict full-token numeric parses, also used for the tools' positional
+// arguments. Return std::nullopt unless the entire token is a valid number.
+std::optional<std::int64_t> parse_int(std::string_view text);
+std::optional<double> parse_double(std::string_view text);
 
 }  // namespace rv::util

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 
 namespace rv::util {
@@ -54,6 +55,7 @@ bool iequals(std::string_view a, std::string_view b) {
 }
 
 std::string format_double(double v, int decimals) {
+  if (std::isnan(v)) return "n/a";  // degenerate statistics render as n/a
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
   return std::string(buf);

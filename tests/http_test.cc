@@ -43,6 +43,29 @@ TEST(Http, RejectsMalformed) {
   EXPECT_FALSE(parse_http_response("nope").has_value());
 }
 
+TEST(Http, StatusMustBeExactlyThreeDigits) {
+  // atoi-style parsing accepted all of these; strict parsing must not.
+  EXPECT_FALSE(parse_http_response("HTTP/1.0 2xx OK\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_response("HTTP/1.0 -1 Bad\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_response("HTTP/1.0 0200 OK\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_response("HTTP/1.0 20 OK\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_response("HTTP/1.0 20a OK\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_response("HTTP/1.0 2000 OK\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_response("HTTP/1.0 099 X\r\n\r\n").has_value());
+}
+
+TEST(Http, ValidThreeDigitStatusesParse) {
+  const auto ok = parse_http_response("HTTP/1.0 200 OK\r\n\r\n");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->status, 200);
+  const auto cont = parse_http_response("HTTP/1.0 100 Continue\r\n\r\n");
+  ASSERT_TRUE(cont.has_value());
+  EXPECT_EQ(cont->status, 100);
+  const auto err = parse_http_response("HTTP/1.0 599 Ugh\r\n\r\n");
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->status, 599);
+}
+
 TEST(Http, RamMetafileRoundTrip) {
   const std::string body = make_ram_metafile("rtsp://server/clip/7");
   EXPECT_EQ(parse_ram_metafile(body), "rtsp://server/clip/7");

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "stats/cdf.h"
@@ -11,6 +12,7 @@
 #include "stats/summary.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace rv::stats {
 namespace {
@@ -155,6 +157,41 @@ TEST(Correlation, AntiCorrelated) {
   const std::vector<double> xs = {1.0, 2.0, 3.0};
   const std::vector<double> ys = {3.0, 2.0, 1.0};
   EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSeriesYieldsNaNNotAbort) {
+  // Zero variance on either axis makes r undefined; it must come back as
+  // NaN for the caller to render as "n/a", not crash the figure.
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> flat = {4.0, 4.0, 4.0};
+  EXPECT_TRUE(std::isnan(pearson(xs, flat)));
+  EXPECT_TRUE(std::isnan(pearson(flat, xs)));
+  EXPECT_TRUE(std::isnan(pearson(flat, flat)));
+}
+
+TEST(Correlation, ConstantXMakesFitUndefined) {
+  const std::vector<double> flat = {2.0, 2.0, 2.0};
+  const std::vector<double> ys = {1.0, 5.0, 9.0};
+  const auto fit = linear_fit(flat, ys);
+  EXPECT_TRUE(std::isnan(fit.slope));
+  EXPECT_TRUE(std::isnan(fit.intercept));
+  EXPECT_TRUE(std::isnan(fit.r));
+}
+
+TEST(Correlation, ConstantYStillFitsFlatLine) {
+  // y has no variance: the least-squares line is y = c (slope 0), but r is
+  // undefined.
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> flat = {4.0, 4.0, 4.0};
+  const auto fit = linear_fit(xs, flat);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 4.0);
+  EXPECT_TRUE(std::isnan(fit.r));
+}
+
+TEST(Correlation, NaNRendersAsNotAvailable) {
+  EXPECT_EQ(util::format_double(std::numeric_limits<double>::quiet_NaN(), 2),
+            "n/a");
 }
 
 TEST(Correlation, IndependentNearZero) {

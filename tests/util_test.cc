@@ -234,6 +234,57 @@ TEST(Args, ValueContainingEquals) {
   EXPECT_EQ(args.get("filter"), "key=value");
 }
 
+TEST(Args, ValidNumericsLeaveErrorsEmpty) {
+  const auto args =
+      make_args({"prog", "--scale=0.25", "--seed=2001", "--watch", "60"});
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 1.0), 0.25);
+  EXPECT_EQ(args.get_int("seed", 0), 2001);
+  EXPECT_EQ(args.get_int("watch", 0), 60);
+  EXPECT_TRUE(args.errors().empty());
+}
+
+TEST(Args, MalformedIntFallsBackAndRecordsError) {
+  const auto args = make_args({"prog", "--seed=20o1"});
+  // The typo'd value must not be silently truncated to 20.
+  EXPECT_EQ(args.get_int("seed", 7), 7);
+  ASSERT_EQ(args.errors().size(), 1u);
+  EXPECT_NE(args.errors()[0].find("--seed"), std::string::npos);
+  EXPECT_NE(args.errors()[0].find("20o1"), std::string::npos);
+}
+
+TEST(Args, MalformedDoubleFallsBackAndRecordsError) {
+  const auto args = make_args({"prog", "--scale=0.5x", "--rate=1e"});
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 2.0), 2.0);
+  EXPECT_EQ(args.errors().size(), 2u);
+}
+
+TEST(Args, PartialMatchIsRejected) {
+  // from_chars alone would parse "3.5" out of "3.5abc"; the full string
+  // must match.
+  const auto args = make_args({"prog", "--watch=3.5abc", "--clip=1 "});
+  EXPECT_DOUBLE_EQ(args.get_double("watch", 9.0), 9.0);
+  EXPECT_EQ(args.get_int("clip", 4), 4);
+  EXPECT_EQ(args.errors().size(), 2u);
+}
+
+TEST(Args, BareFlagNumericLookupIsNotAnError) {
+  // --live has no value; asking for it as a number uses the fallback
+  // without flagging a user mistake.
+  const auto args = make_args({"prog", "--live"});
+  EXPECT_EQ(args.get_int("live", 3), 3);
+  EXPECT_TRUE(args.errors().empty());
+}
+
+TEST(Args, DoubleDashEndsFlagParsing) {
+  const auto args = make_args({"prog", "--seed=5", "--", "--not-a-flag"});
+  EXPECT_EQ(args.get_int("seed", 0), 5);
+  EXPECT_FALSE(args.has("not-a-flag"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "--not-a-flag");
+  EXPECT_TRUE(args.errors().empty());
+}
+
 TEST(SmallVec, StaysInlineUpToCapacity) {
   util::SmallVec<int, 3> v;
   EXPECT_TRUE(v.empty());

@@ -14,10 +14,16 @@
 //
 // Flags: --scale <0..1> (fraction of the study to simulate if no cache),
 //        --seed <n>, --threads <n>.
+//        --trace <path> (Chrome trace_event JSON of every play; forces a
+//        fresh run since traces are never cached) and
+//        --trace-play <user,play> (restrict tracing to one play).
+//        Malformed numeric flag values are an error (exit 2), not a
+//        silent fallback to the default.
 #include <filesystem>
 #include <iostream>
 #include <map>
 
+#include "obs/chrome_trace.h"
 #include "stats/csv.h"
 #include "stats/summary.h"
 #include "study/analysis.h"
@@ -214,6 +220,48 @@ int cmd_export(const study::StudyResult& result, const std::string& dir) {
   return 0;
 }
 
+int cmd_write_trace(const study::StudyResult& result,
+                    const std::string& path) {
+  std::vector<obs::PlayTrack> tracks;
+  int last_user = -1;
+  std::uint32_t tid = 0;
+  for (const auto& r : result.records) {
+    // Records are in plan order (user-major, play-minor), so the running
+    // index within a user is the play index --trace-play filters on.
+    if (r.user_id != last_user) {
+      last_user = r.user_id;
+      tid = 0;
+    } else {
+      ++tid;
+    }
+    if (!r.obs.enabled) continue;
+    obs::PlayTrack t;
+    t.pid = static_cast<std::uint32_t>(r.user_id);
+    t.tid = tid;
+    t.process_name =
+        "user " + std::to_string(r.user_id) + " (" +
+        std::string(world::connection_class_name(r.connection)) + ", " +
+        r.country + ")";
+    t.thread_name = "play " + std::to_string(tid) + " clip " +
+                    std::to_string(r.clip_id) + " " + r.server_name;
+    t.obs = &r.obs;
+    tracks.push_back(t);
+  }
+  if (!obs::write_chrome_trace(path, tracks)) {
+    std::cerr << "cannot write trace file: " << path << "\n";
+    return 1;
+  }
+  const obs::Counters totals = study::counter_totals(result.records);
+  std::cout << "wrote " << path << " (" << tracks.size()
+            << " traced plays)\n";
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(obs::Counter::kCount); ++i) {
+    std::cout << "  " << obs::counter_name(static_cast<obs::Counter>(i))
+              << " = " << totals.v[i] << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -221,7 +269,8 @@ int main(int argc, char** argv) {
   if (args.positional().empty() || args.has("help")) {
     std::cout << "usage: realdata <summary|fig N|slice|users|servers|"
                  "export DIR> [--scale X] [--seed N] [--threads N] "
-                 "[--faults [--outage-scale X]] [slice flags]\n";
+                 "[--faults [--outage-scale X]] [--trace PATH "
+                 "[--trace-play U,P]] [slice flags]\n";
     return args.has("help") ? 0 : 1;
   }
 
@@ -236,7 +285,40 @@ int main(int argc, char** argv) {
     config.tracer.faults.outage_scale =
         args.get_double("outage-scale", 1.0);
   }
-  const study::StudyResult result = study::run_study_cached(config);
+  const bool want_trace = args.has("trace");
+  const std::string trace_path = args.get_or("trace", "");
+  if (want_trace) {
+    if (trace_path.empty()) {
+      std::cerr << "--trace requires a file path\n";
+      return 2;
+    }
+    config.tracer.obs.enabled = true;
+    if (const auto tp = args.get("trace-play")) {
+      const auto parts = util::split(*tp, ',');
+      const auto u = parts.empty() ? std::nullopt : util::parse_int(parts[0]);
+      const auto pl =
+          parts.size() < 2 ? std::nullopt : util::parse_int(parts[1]);
+      if (!u || !pl || *u < 0 || *pl < 0) {
+        std::cerr << "--trace-play expects <user,play> (got '" << *tp
+                  << "')\n";
+        return 2;
+      }
+      config.tracer.obs.filter_user = static_cast<std::int32_t>(*u);
+      config.tracer.obs.filter_play = static_cast<std::int32_t>(*pl);
+    }
+  }
+  if (!args.errors().empty()) {
+    for (const auto& err : args.errors()) std::cerr << err << "\n";
+    return 2;
+  }
+  // Traces live only in memory, so a --trace run cannot be satisfied from
+  // the cache; it re-runs and re-saves byte-identical cache contents.
+  const study::StudyResult result =
+      study::run_study_cached(config, /*force_run=*/want_trace);
+  if (want_trace) {
+    const int rc = cmd_write_trace(result, trace_path);
+    if (rc != 0) return rc;
+  }
 
   const std::string& command = args.positional()[0];
   if (command == "summary") return cmd_summary(result);
@@ -245,7 +327,13 @@ int main(int argc, char** argv) {
       std::cerr << "fig requires a figure number\n";
       return 1;
     }
-    return cmd_fig(result, config, std::atoi(args.positional()[1].c_str()));
+    const auto fig = util::parse_int(args.positional()[1]);
+    if (!fig) {
+      std::cerr << "fig requires a figure number, got '"
+                << args.positional()[1] << "'\n";
+      return 2;
+    }
+    return cmd_fig(result, config, static_cast<int>(*fig));
   }
   if (command == "slice") return cmd_slice(result, args);
   if (command == "users") return cmd_users(result);

@@ -7,12 +7,18 @@
 //                      s-america|middle-east]
 //            [--clip <playlist-index 0..97>] [--protocol auto|tcp]
 //            [--live] [--watch <seconds>] [--seed <n>] [--samples]
+//            [--trace <path>]
+//
+// --trace writes the play's event trace as Chrome trace_event JSON (load in
+// chrome://tracing or ui.perfetto.dev; see docs/OBSERVABILITY.md). Malformed
+// numeric flag values exit 2 instead of silently using the default.
 //
 // Examples:
 //   retracer --connection modem --clip 8
 //   retracer --connection dsl --region australia --protocol tcp --samples
 #include <iostream>
 
+#include "obs/chrome_trace.h"
 #include "study/study.h"
 #include "tracer/real_tracer.h"
 #include "util/args.h"
@@ -53,7 +59,8 @@ int main(int argc, char** argv) {
   if (args.has("help")) {
     std::cout << "usage: retracer [--connection modem|dsl|t1] [--pc <class>]"
                  " [--region <name>] [--clip <0..97>] [--protocol auto|tcp]"
-                 " [--live] [--watch <sec>] [--seed <n>] [--samples]\n";
+                 " [--live] [--watch <sec>] [--seed <n>] [--samples]"
+                 " [--trace <path>]\n";
     return 0;
   }
 
@@ -67,6 +74,14 @@ int main(int argc, char** argv) {
   tracer_cfg.live_content = args.has("live");
   tracer_cfg.watch_duration =
       seconds_to_sim(args.get_double("watch", 60.0));
+  const std::string trace_path = args.get_or("trace", "");
+  if (args.has("trace")) {
+    if (trace_path.empty()) {
+      std::cerr << "--trace requires a file path\n";
+      return 2;
+    }
+    tracer_cfg.obs.enabled = true;
+  }
   const tracer::RealTracer tracer(catalog, graph, tracer_cfg);
 
   world::UserProfile user;
@@ -84,9 +99,32 @@ int main(int argc, char** argv) {
       args.get_int("clip", 0)) % catalog.size();
   const bool force_tcp = args.get_or("protocol", "auto") == "tcp";
 
+  if (!args.errors().empty()) {
+    for (const auto& err : args.errors()) std::cerr << err << "\n";
+    return 2;
+  }
+
   const auto rec = tracer.run_single(
       user, playlist_index,
       user.seed * 7919 + playlist_index, force_tcp);
+
+  if (!trace_path.empty() && rec.obs.enabled) {
+    obs::PlayTrack track;
+    track.pid = static_cast<std::uint32_t>(user.id);
+    track.tid = static_cast<std::uint32_t>(playlist_index);
+    track.process_name =
+        "user " + std::to_string(user.id) + " (" +
+        std::string(world::connection_class_name(user.connection)) + ")";
+    track.thread_name = "clip " + std::to_string(rec.clip_id) + " " +
+                        rec.server_name;
+    track.obs = &rec.obs;
+    if (!obs::write_chrome_trace(trace_path, {track})) {
+      std::cerr << "cannot write trace file: " << trace_path << "\n";
+      return 2;
+    }
+    std::cout << "trace:       " << trace_path << " ("
+              << rec.obs.events.size() << " events)\n";
+  }
 
   const auto& clip = catalog.clip(playlist_index);
   const auto& stats = rec.stats;
