@@ -8,6 +8,7 @@
 
 #include "media/catalog.h"
 #include "obs/trace.h"
+#include "telemetry/sampler.h"
 #include "media/frame_schedule.h"
 #include "media/packetizer.h"
 #include "net/network.h"
@@ -239,6 +240,56 @@ void BM_ObsHookEnabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsHookEnabled);
+
+void BM_SeriesSampleDisabled(benchmark::State& state) {
+  // Cost of 1000 sample_if_active guards on an inactive sampler — the
+  // telemetry-off tax a sampling call site pays, gated alongside the obs
+  // hooks by scripts/run_bench.py --obs-overhead-check.
+  sim::Simulator sim;
+  telemetry::Series series;
+  series.reset(0);
+  telemetry::PlaySampler sampler(sim, nullptr, 0, telemetry::Probe{}, &series,
+                                 msec(500));
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      sampler.sample_if_active(i);
+      benchmark::ClobberMemory();
+    }
+    benchmark::DoNotOptimize(series.size());
+  }
+}
+BENCHMARK(BM_SeriesSampleDisabled);
+
+void BM_SeriesSampleEnabled(benchmark::State& state) {
+  // Full sample_at against a live two-link network and synthetic probes.
+  // Not gated — telemetry on is an explicitly requested mode — but tracked
+  // so a per-tick regression is visible.
+  sim::Simulator sim;
+  net::Network net(sim);
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  const auto c = net.add_node("c");
+  net.add_link(a, b, mbps(10), msec(5));
+  net.add_link(b, c, mbps(10), msec(5));
+  net.compute_routes();
+  std::int64_t frames = 0, bytes = 0;
+  telemetry::Probe probe;
+  probe.buffer_sec = [] { return 4.2; };
+  probe.frames_played = [&frames] { return frames += 7; };
+  probe.bytes_received = [&bytes] { return bytes += 12000; };
+  probe.cwnd_bytes = [] { return 8760.0; };
+  probe.tcp_retransmits = [] { return std::uint64_t{3}; };
+  telemetry::Series series;
+  for (auto _ : state) {
+    state.PauseTiming();
+    series.reset(2);
+    telemetry::PlaySampler sampler(sim, &net, 2, probe, &series, msec(500));
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) sampler.sample_at(i);
+    benchmark::DoNotOptimize(series.size());
+  }
+}
+BENCHMARK(BM_SeriesSampleEnabled);
 
 void BM_CdfBuildAndQuery(benchmark::State& state) {
   util::Rng rng(7);

@@ -37,6 +37,14 @@ Modes:
              --trace, validate the emitted Chrome trace JSON, check the
              cache md5 is identical either way, and check that malformed
              numeric flags exit non-zero. Needs only the realdata binary.
+  --telemetry-smoke
+             cheap CI gate for the time-series sampler: run a mini-study
+             with --telemetry --series-csv --trace --profile, validate the
+             CSV schema, check the series bytes are identical at 1 and 2
+             threads, check the Chrome trace carries "C" counter tracks,
+             check the cache md5 is identical with telemetry off/on, and
+             check strict telemetry-flag parsing exits non-zero. Needs only
+             the realdata binary.
 
 With no mode flag it measures and prints, changing nothing.
 
@@ -92,6 +100,14 @@ HOOK_CALLS_PER_FORWARD_ITER_8 = 800
 # The event kernel itself (BM_SimulatorScheduleRun) contains no obs hooks by
 # construction — per-play sim_events are counted once per play from the
 # simulator's own executed-events tally, not per event.
+#
+# Telemetry-sampler accounting, same shape: BM_SeriesSampleDisabled runs this
+# many sample_if_active guards per iteration against an inactive sampler:
+GUARDS_PER_SERIES_ITER = 1000
+# The sampler is timer-driven, so hot paths never call it per packet; pricing
+# one guard per hop anyway folds the telemetry-off tax into the same upper
+# bound the obs hooks are held to:
+GUARD_CALLS_PER_FORWARD_ITER_8 = 800
 
 
 def run_microbench(binary, repetitions, min_time, bench_filter=None):
@@ -188,6 +204,11 @@ def main():
     ap.add_argument("--trace-smoke", action="store_true",
                     help="run a mini-study with --trace; validate the JSON, "
                          "cache-md5 invariance, and strict flag parsing")
+    ap.add_argument("--telemetry-smoke", action="store_true",
+                    help="run a mini-study with the time-series sampler on; "
+                         "validate the series CSV, thread-count byte-"
+                         "identity, Chrome counter tracks, cache-md5 "
+                         "invariance, and strict flag parsing")
     ap.add_argument("--seed", type=int, default=2001)
     ap.add_argument("--threads", type=int, default=4)
     args = ap.parse_args()
@@ -269,26 +290,125 @@ def main():
             shutil.rmtree(scratch, ignore_errors=True)
         return
 
+    if args.telemetry_smoke:
+        if not os.path.exists(args.realdata_binary):
+            sys.exit("realdata binary not found: %s (build Release first)" %
+                     args.realdata_binary)
+        # Strictly validated telemetry flags must exit non-zero.
+        for bad in (["summary", "--telemetry-interval-ms=0"],
+                    ["summary", "--telemetry-interval-ms=5o0"],
+                    ["summary", "--trace", "t.json", "--trace-play=1,2,3"],
+                    ["summary", "--trace", "t.json", "--trace-play=-1,2"],
+                    ["summary", "--series-csv"],   # needs a path
+                    ["summary", "--flight-dir"]):  # needs a path
+            proc = subprocess.run(
+                [args.realdata_binary] + bad, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL)
+            if proc.returncode == 0:
+                sys.exit("telemetry smoke FAILED: %r exited 0, expected a "
+                         "non-zero strict-parsing failure" % bad)
+        expected_header = ("user_id,record_slot,clip_id,server,t_usec,"
+                           "buffer_sec,fps,bandwidth_kbps,cwnd_bytes,"
+                           "retx_per_sec,access_occupancy,access_drops,"
+                           "isp-uplink_occupancy,isp-uplink_drops,"
+                           "wan-corridor_occupancy,wan-corridor_drops,"
+                           "server-access_occupancy,server-access_drops")
+        scratch = tempfile.mkdtemp(prefix="rv_telemetry_smoke_")
+        try:
+            digests = {}
+            series_bytes = {}
+            for mode in ("off", "t1", "t2"):
+                cmd = [args.realdata_binary, "summary",
+                       "--seed", str(args.seed),
+                       "--threads", "1" if mode == "t1" else "2",
+                       "--scale", "%g" % args.smoke_scale]
+                if mode != "off":
+                    cmd += ["--telemetry",
+                            "--series-csv", "series_%s.csv" % mode,
+                            "--trace", "trace_%s.json" % mode, "--profile"]
+                out = subprocess.run(
+                    cmd, check=True, cwd=scratch, stdout=subprocess.PIPE,
+                    stderr=subprocess.DEVNULL).stdout.decode()
+                caches = sorted(f for f in os.listdir(scratch)
+                                if f.endswith(".cache"))
+                if len(caches) != 1:
+                    raise RuntimeError(
+                        "expected one .cache file, got %r" % caches)
+                digests[mode] = hashlib.md5(open(
+                    os.path.join(scratch, caches[0]), "rb").read()
+                ).hexdigest()
+                if mode != "off":
+                    series_bytes[mode] = open(
+                        os.path.join(scratch, "series_%s.csv" % mode),
+                        "rb").read()
+                    for marker in ("Telemetry rollup", "bottleneck",
+                                   "Study profile", "worker"):
+                        if marker not in out:
+                            sys.exit("telemetry smoke FAILED: %r missing "
+                                     "from summary output (mode %s)" %
+                                     (marker, mode))
+            if len(set(digests.values())) != 1:
+                sys.exit("telemetry smoke FAILED: cache md5 not invariant "
+                         "under telemetry/threads: %r — sampling perturbed "
+                         "the study" % digests)
+            header = series_bytes["t2"].split(b"\n", 1)[0].decode()
+            if header != expected_header:
+                sys.exit("telemetry smoke FAILED: series CSV header\n  %s\n"
+                         "!= expected\n  %s" % (header, expected_header))
+            if len(series_bytes["t2"].splitlines()) < 2:
+                sys.exit("telemetry smoke FAILED: series CSV has no samples")
+            if series_bytes["t1"] != series_bytes["t2"]:
+                sys.exit("telemetry smoke FAILED: series CSV differs "
+                         "between 1 and 2 threads")
+            trace_doc = json.load(
+                open(os.path.join(scratch, "trace_t2.json")))
+            events = trace_doc.get("traceEvents")
+            if not isinstance(events, list) or not events:
+                sys.exit("telemetry smoke FAILED: trace_t2.json has no "
+                         "traceEvents")
+            counter_names = {e.get("name") for e in events
+                             if e.get("ph") == "C"}
+            for want in ("buffer_sec", "fps", "bandwidth_kbps",
+                         "access_occupancy"):
+                if want not in counter_names:
+                    sys.exit("telemetry smoke FAILED: no %r counter track "
+                             "in trace (C-phase names: %r)" %
+                             (want, sorted(counter_names)))
+            print("telemetry smoke passed: cache md5 invariant (md5 %s), "
+                  "series CSV byte-identical at 1/2 threads (%d bytes), "
+                  "%d counter tracks in the Chrome trace, strict flags "
+                  "exit non-zero" %
+                  (digests["off"], len(series_bytes["t2"]),
+                   len(counter_names)))
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        return
+
     if args.obs_overhead_check:
         if not os.path.exists(args.bench_binary):
             sys.exit("bench binary not found: %s (build Release first)" %
                      args.bench_binary)
-        wanted = "^(BM_ObsHookDisabled|BM_PacketForwardingChain/8)$"
+        wanted = ("^(BM_ObsHookDisabled|BM_SeriesSampleDisabled|"
+                  "BM_PacketForwardingChain/8)$")
         print("measuring disabled-hook overhead (x%d reps)..." %
               args.repetitions, file=sys.stderr)
         results = run_microbench(args.bench_binary, args.repetitions,
                                  args.min_time, bench_filter=wanted)
         try:
             pair_ns = results["BM_ObsHookDisabled"] / HOOK_PAIRS_PER_OBS_ITER
+            guard_ns = (results["BM_SeriesSampleDisabled"] /
+                        GUARDS_PER_SERIES_ITER)
             forward_ns = results["BM_PacketForwardingChain/8"]
         except KeyError as missing:
             sys.exit("obs overhead check FAILED: benchmark %s not found "
                      "(stale bench binary?)" % missing)
-        tax_ns = pair_ns * HOOK_CALLS_PER_FORWARD_ITER_8
+        tax_ns = (pair_ns * HOOK_CALLS_PER_FORWARD_ITER_8 +
+                  guard_ns * GUARD_CALLS_PER_FORWARD_ITER_8)
         ratio = tax_ns / forward_ns
-        print("disabled hook pair %.3f ns; forwarding-chain tax upper bound "
-              "%.0f ns / %.0f ns = %.2f%% (event kernel: 0 hooks, 0.00%%)" %
-              (pair_ns, tax_ns, forward_ns, ratio * 100.0))
+        print("disabled hook pair %.3f ns + sampler guard %.3f ns; "
+              "forwarding-chain tax upper bound %.0f ns / %.0f ns = %.2f%% "
+              "(event kernel: 0 hooks, 0.00%%)" %
+              (pair_ns, guard_ns, tax_ns, forward_ns, ratio * 100.0))
         if ratio > args.obs_tolerance:
             sys.exit("obs overhead check FAILED: %.2f%% > %.0f%% budget" %
                      (ratio * 100.0, args.obs_tolerance * 100.0))

@@ -61,6 +61,9 @@ class PlayoutEngine {
   std::int64_t frames_played() const { return frames_played_; }
   SimTime playout_wall_start() const { return wall_start_; }
   bool playout_started() const { return playout_started_; }
+  // Media seconds currently buffered ahead of the playout position
+  // (telemetry's buffer-depth probe; also feeds preroll/rebuffer decisions).
+  double buffered_span_sec() const;
 
   // Network-level frame losses detected outside the engine (incomplete
   // frames discarded by the assembler) are folded into the stats here.
@@ -95,7 +98,6 @@ class PlayoutEngine {
   SimTime deadline_of(SimTime pts) const {
     return wall_start_ + (pts - media_start_) + stall_accum_;
   }
-  double buffered_span_sec() const;
 
   sim::Simulator& sim_;
   PlayoutConfig config_;

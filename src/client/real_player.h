@@ -76,6 +76,16 @@ class RealPlayerApp {
   const ClipStats& stats() const { return stats_; }
   const PlayoutEngine& playout() const { return *playout_; }
 
+  // Telemetry probes, safe to call at any point mid-session (the sampler
+  // reads them on a fixed sim-time grid). All are cheap state reads.
+  double buffered_media_seconds() const {
+    return playout_ != nullptr ? playout_->buffered_span_sec() : 0.0;
+  }
+  std::int64_t frames_played_so_far() const {
+    return playout_ != nullptr ? playout_->frames_played() : 0;
+  }
+  std::int64_t bytes_received_so_far() const { return stats_.bytes_received; }
+
  private:
   // The transport auto-configuration ladder (§II.A): try UDP data first,
   // fall back to TCP interleaving, then to RTSP cloaked on the HTTP port.

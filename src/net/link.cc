@@ -1,5 +1,6 @@
 #include "net/link.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/trace.h"
@@ -90,6 +91,19 @@ const LinkDirection& Link::direction_from(NodeId from) const {
 NodeId Link::peer_of(NodeId n) const {
   RV_CHECK(n == a_ || n == b_);
   return n == a_ ? b_ : a_;
+}
+
+double Link::max_queue_fill() const {
+  const auto fill = [](const LinkDirection& d) {
+    const auto cap = d.queue_capacity_bytes();
+    if (cap <= 0) return 0.0;
+    return static_cast<double>(d.queued_bytes()) / static_cast<double>(cap);
+  };
+  return std::max(fill(a_to_b_), fill(b_to_a_));
+}
+
+std::uint64_t Link::total_dropped() const {
+  return a_to_b_.stats().packets_dropped + b_to_a_.stats().packets_dropped;
 }
 
 }  // namespace rv::net

@@ -93,6 +93,13 @@ class Link {
   // The node at the other end.
   NodeId peer_of(NodeId n) const;
 
+  // Telemetry probes (read-only; sampled by telemetry::PlaySampler).
+  // Queue-fill fraction of the fuller direction, in [0, 1].
+  double max_queue_fill() const;
+  // Packets dropped across both directions (overflow + RED + faults;
+  // faulted packets also count as dropped in LinkStats).
+  std::uint64_t total_dropped() const;
+
  private:
   NodeId a_;
   NodeId b_;

@@ -35,6 +35,7 @@ class Network {
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t link_count() const { return links_.size(); }
   Link& link(std::size_t index) { return *links_[index]; }
+  const Link& link(std::size_t index) const { return *links_[index]; }
 
   // Recomputes all routing tables (Dijkstra, cost = propagation delay plus
   // MTU serialisation time). Must be called after topology changes and

@@ -1,37 +1,11 @@
 #include "obs/chrome_trace.h"
 
-#include <cstdio>
 #include <fstream>
 
 #include "util/strings.h"
 
 namespace rv::obs {
 namespace {
-
-void append_escaped(std::string& out, std::string_view s) {
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
 
 void append_metadata(std::string& out, const char* name, std::uint32_t pid,
                      std::uint32_t tid, bool with_tid,
@@ -45,7 +19,7 @@ void append_metadata(std::string& out, const char* name, std::uint32_t pid,
     out += std::to_string(tid);
   }
   out += ",\"args\":{\"name\":\"";
-  append_escaped(out, value);
+  util::json_escape(out, value);
   out += "\"}}";
 }
 
@@ -75,6 +49,26 @@ void append_event(std::string& out, const PlayTrack& track,
   out += ",\"a1\":";
   out += std::to_string(ev.a1);
   out += "}}";
+}
+
+void append_counter_series(std::string& out, const PlayTrack& track,
+                           const CounterSeries& series, bool& first) {
+  // One "C" event per sample; the viewer connects them into an area track.
+  for (std::size_t i = 0; i < series.t.size() && i < series.v.size(); ++i) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    util::json_escape(out, series.name);
+    out += "\",\"cat\":\"telemetry\",\"ph\":\"C\",\"ts\":";
+    out += std::to_string(series.t[i]);
+    out += ",\"pid\":";
+    out += std::to_string(track.pid);
+    out += ",\"tid\":";
+    out += std::to_string(track.tid);
+    out += ",\"args\":{\"v\":";
+    out += util::format_double(series.v[i], 3);
+    out += "}}";
+  }
 }
 
 void append_counters(std::string& out, const PlayTrack& track,
@@ -122,6 +116,9 @@ std::string chrome_trace_json(const std::vector<PlayTrack>& tracks) {
     for (const TraceEvent& ev : track.obs->events) {
       sep();
       append_event(out, track, ev);
+    }
+    for (const CounterSeries& series : track.counters) {
+      append_counter_series(out, track, series, first);
     }
     sep();
     append_counters(out, track, track.obs->counters);

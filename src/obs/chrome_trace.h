@@ -19,12 +19,25 @@
 
 namespace rv::obs {
 
+// One named counter ("C"-phase) track: a time series sampled at fixed
+// sim-time intervals, rendered by the trace viewer as a stacked area chart
+// under the play's thread. Kept generic (name + parallel t/v vectors) so the
+// exporter stays independent of whichever layer produced the samples — the
+// telemetry sampler converts its columnar Series into these.
+struct CounterSeries {
+  std::string name;
+  std::vector<SimTime> t;
+  std::vector<double> v;
+};
+
 struct PlayTrack {
   std::uint32_t pid = 0;  // user id
   std::uint32_t tid = 0;  // play index within the user's session
   std::string process_name;  // e.g. "user 12 (modem, US)"
   std::string thread_name;   // e.g. "play 3 clip 45 site US/CNN"
   const PlayObs* obs = nullptr;
+  // Optional counter tracks (--telemetry); emitted after the track's events.
+  std::vector<CounterSeries> counters;
 };
 
 // Renders the full trace document. Tracks with a null/disabled obs are

@@ -1,10 +1,61 @@
 #include "obs/trace.h"
 
+#include <iterator>
+
+#include "util/args.h"
+#include "util/strings.h"
+
 namespace rv::obs {
 
 namespace detail {
 thread_local PlaySink* tl_sink = nullptr;
 }  // namespace detail
+
+namespace {
+
+// One name per enum value, in declaration order. The static_asserts turn
+// "added an enum value but no name" into a compile error instead of a
+// silent "unknown" at runtime; obs_test additionally checks the names are
+// unique and non-empty.
+constexpr const char* kCodeNames[] = {
+    "preroll_done",        // kPrerollDone
+    "rebuffer",            // kRebufferStart
+    "rebuffer_end",        // kRebufferStop
+    "frame_drop",          // kFrameDrop
+    "tcp_state",           // kTcpState
+    "tcp_fast_retransmit", // kTcpFastRetransmit
+    "tcp_timeout",         // kTcpTimeout
+    "sack_retransmit",     // kSackRetransmit
+    "udp_loss_burst",      // kUdpLossBurst
+    "rtsp_retry",          // kRtspRetry
+    "rtsp_fallback",       // kRtspFallback
+    "fault_outage",        // kFaultOutage
+    "fault_overload",      // kFaultOverload
+    "fault_blackhole",     // kFaultBlackhole
+    "fault_corruption",    // kFaultCorruption
+};
+static_assert(std::size(kCodeNames) ==
+                  static_cast<std::size_t>(Code::kCodeCount),
+              "kCodeNames must cover every Code enum value");
+
+constexpr const char* kCounterNames[] = {
+    "packets_enqueued",   // kPacketsEnqueued
+    "packets_dropped",    // kPacketsDropped
+    "packets_corrupted",  // kPacketsCorrupted
+    "tcp_retransmits",    // kTcpRetransmits
+    "sack_retransmits",   // kSackRetransmits
+    "rtsp_retries",       // kRtspRetries
+    "fallback_depth",     // kFallbackDepth
+    "rebuffers",          // kRebuffers
+    "frame_drops",        // kFrameDrops
+    "udp_loss_gaps",      // kUdpLossGaps
+    "sim_events",         // kSimEvents
+};
+static_assert(std::size(kCounterNames) ==
+                  static_cast<std::size_t>(Counter::kCount),
+              "kCounterNames must cover every Counter enum value");
+
+}  // namespace
 
 Cat cat_of(Code code) {
   switch (code) {
@@ -48,71 +99,25 @@ const char* cat_name(Cat cat) {
 }
 
 const char* code_name(Code code) {
-  switch (code) {
-    case Code::kPrerollDone:
-      return "preroll_done";
-    case Code::kRebufferStart:
-      return "rebuffer";
-    case Code::kRebufferStop:
-      return "rebuffer_end";
-    case Code::kFrameDrop:
-      return "frame_drop";
-    case Code::kTcpState:
-      return "tcp_state";
-    case Code::kTcpFastRetransmit:
-      return "tcp_fast_retransmit";
-    case Code::kTcpTimeout:
-      return "tcp_timeout";
-    case Code::kSackRetransmit:
-      return "sack_retransmit";
-    case Code::kUdpLossBurst:
-      return "udp_loss_burst";
-    case Code::kRtspRetry:
-      return "rtsp_retry";
-    case Code::kRtspFallback:
-      return "rtsp_fallback";
-    case Code::kFaultOutage:
-      return "fault_outage";
-    case Code::kFaultOverload:
-      return "fault_overload";
-    case Code::kFaultBlackhole:
-      return "fault_blackhole";
-    case Code::kFaultCorruption:
-      return "fault_corruption";
-    case Code::kCodeCount:
-      break;
-  }
-  return "unknown";
+  const auto i = static_cast<std::size_t>(code);
+  return i < std::size(kCodeNames) ? kCodeNames[i] : "unknown";
 }
 
 const char* counter_name(Counter c) {
-  switch (c) {
-    case Counter::kPacketsEnqueued:
-      return "packets_enqueued";
-    case Counter::kPacketsDropped:
-      return "packets_dropped";
-    case Counter::kPacketsCorrupted:
-      return "packets_corrupted";
-    case Counter::kTcpRetransmits:
-      return "tcp_retransmits";
-    case Counter::kSackRetransmits:
-      return "sack_retransmits";
-    case Counter::kRtspRetries:
-      return "rtsp_retries";
-    case Counter::kFallbackDepth:
-      return "fallback_depth";
-    case Counter::kRebuffers:
-      return "rebuffers";
-    case Counter::kFrameDrops:
-      return "frame_drops";
-    case Counter::kUdpLossGaps:
-      return "udp_loss_gaps";
-    case Counter::kSimEvents:
-      return "sim_events";
-    case Counter::kCount:
-      break;
-  }
-  return "unknown";
+  const auto i = static_cast<std::size_t>(c);
+  return i < std::size(kCounterNames) ? kCounterNames[i] : "unknown";
+}
+
+std::optional<std::pair<std::int32_t, std::int32_t>> parse_trace_play(
+    std::string_view text) {
+  const auto parts = util::split(text, ',');
+  if (parts.size() != 2) return std::nullopt;
+  const auto user = util::parse_int(parts[0]);
+  const auto play = util::parse_int(parts[1]);
+  if (!user || !play || *user < 0 || *play < 0) return std::nullopt;
+  if (*user > INT32_MAX || *play > INT32_MAX) return std::nullopt;
+  return std::make_pair(static_cast<std::int32_t>(*user),
+                        static_cast<std::int32_t>(*play));
 }
 
 void Counters::merge(const Counters& other) {

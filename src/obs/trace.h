@@ -19,6 +19,9 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/units.h"
@@ -228,5 +231,12 @@ struct ObsConfig {
     return true;
   }
 };
+
+// Strict "--trace-play user,play" parser: exactly two comma-separated
+// non-negative integers with no extra fields or trailing junk. Returns
+// {user, play} or nullopt on any malformation (tools exit 2 with a
+// diagnostic rather than silently ignoring the garbage).
+std::optional<std::pair<std::int32_t, std::int32_t>> parse_trace_play(
+    std::string_view text);
 
 }  // namespace rv::obs

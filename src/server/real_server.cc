@@ -198,6 +198,22 @@ const StreamSender* RealServerApp::last_sender() const {
   return it->second->sender.get();
 }
 
+double RealServerApp::last_session_cwnd_bytes() const {
+  const auto it = sessions_.find(last_session_id_);
+  if (it == sessions_.end()) return 0.0;
+  const SessionCtx& ctx = *it->second;
+  if (ctx.use_udp || ctx.control == nullptr) return 0.0;
+  return ctx.control->cwnd_bytes();
+}
+
+std::uint64_t RealServerApp::last_session_tcp_retransmits() const {
+  const auto it = sessions_.find(last_session_id_);
+  if (it == sessions_.end()) return 0;
+  const SessionCtx& ctx = *it->second;
+  if (ctx.use_udp || ctx.control == nullptr) return 0;
+  return ctx.control->stats().retransmits;
+}
+
 RealServerApp::SessionCtx& RealServerApp::adopt_control(
     std::unique_ptr<transport::TcpConnection> conn) {
   auto ctx = std::make_unique<SessionCtx>();

@@ -58,6 +58,12 @@ class RealServerApp {
   // Introspection for tests/benches: the most recently created session's
   // sender (nullptr when none).
   const StreamSender* last_sender() const;
+  // Telemetry probes: congestion state of the most recent session's control
+  // TCP connection. Interleaved-TCP media rides the control connection, so
+  // its cwnd/retransmit counts describe the media path; UDP sessions report
+  // 0 (their loss shows up in the per-link drop series instead).
+  double last_session_cwnd_bytes() const;
+  std::uint64_t last_session_tcp_retransmits() const;
   // Aggregate SureStream switches across all sessions, including finished
   // ones.
   std::uint64_t total_level_switches() const;

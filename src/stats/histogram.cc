@@ -1,6 +1,7 @@
 #include "stats/histogram.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/check.h"
 
@@ -32,6 +33,54 @@ double Histogram::bin_lo(std::size_t bin) const {
 }
 
 double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+MergeableHistogram::MergeableHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  RV_CHECK_LT(lo, hi);
+  RV_CHECK_GT(bins, 0u);
+}
+
+void MergeableHistogram::add(double x, std::uint64_t weight) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(bin)] += weight;
+  total_ += weight;
+}
+
+void MergeableHistogram::merge(const MergeableHistogram& other) {
+  RV_CHECK(same_geometry(other))
+      << "merging histograms with different geometry: [" << lo_ << ", " << hi_
+      << ")x" << counts_.size() << " vs [" << other.lo_ << ", " << other.hi_
+      << ")x" << other.counts_.size();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+std::uint64_t MergeableHistogram::bin_count(std::size_t bin) const {
+  RV_CHECK_LT(bin, counts_.size());
+  return counts_[bin];
+}
+
+double MergeableHistogram::quantile(double q) const {
+  if (total_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (cum + c >= target && c > 0.0) {
+      const double frac = (target - cum) / c;
+      return lo_ + width * (static_cast<double>(i) + frac);
+    }
+    cum += c;
+  }
+  return hi_;
+}
 
 void CountTable::add(const std::string& label, std::size_t n) {
   counts_[label] += n;

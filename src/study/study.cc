@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <thread>
 
@@ -45,6 +46,16 @@ StudyResult run_study(const StudyConfig& config) {
     tracer_cfg.faults.seed = config.seed;
   }
   tracer::RealTracer tracer(catalog, graph, tracer_cfg);
+
+  // Self-profiling is wall-clock-only and gated so the default path takes
+  // zero clock reads; it can never feed back into simulation state.
+  const bool profiling = config.profile;
+  using Clock = std::chrono::steady_clock;
+  const auto wall_since = [](Clock::time_point start) {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+  Clock::time_point plan_start{};
+  if (profiling) plan_start = Clock::now();
   tracer.plan_access_times(result.users);
 
   // Plan/execute split: the serial planning pass precomputes everything
@@ -55,6 +66,10 @@ StudyResult run_study(const StudyConfig& config) {
   // any interleaving — per-user sharding's straggler wall (one heavy-tailed
   // user bounding the tail) is gone.
   const tracer::StudyPlan plan = tracer.build_plan(result.users, config.seed);
+  if (profiling) {
+    result.profile.enabled = true;
+    result.profile.plan_seconds = wall_since(plan_start);
+  }
   result.records.resize(plan.tasks.size());
   // Slots are written by exactly one worker each, with no flag or counter
   // beside them; a TraceRecord spans multiple cache lines, so neighbouring
@@ -73,23 +88,52 @@ StudyResult run_study(const StudyConfig& config) {
   // records via join. fetch_add(relaxed) is still a total order on the
   // counter itself, so every task is claimed exactly once.
   std::atomic<std::size_t> next{0};
-  auto worker = [&] {
+  if (profiling) {
+    result.profile.workers.resize(static_cast<std::size_t>(n_threads));
+  }
+  auto worker = [&](int worker_index) {
     tracer::PlayContext ctx;
+    // Preassigned slot — no sharing, no synchronization (published by join).
+    WorkerProfile* wp =
+        profiling ? &result.profile.workers[static_cast<std::size_t>(
+                        worker_index)]
+                  : nullptr;
     while (true) {
       const std::size_t k = next.fetch_add(1, std::memory_order_relaxed);
       if (k >= plan.order.size()) return;
       const tracer::PlayTask& task = plan.tasks[plan.order[k]];
-      result.records[task.record_slot] =
-          tracer.run_play(task, result.users[task.user_index], ctx);
+      if (wp != nullptr) {
+        const auto play_start = Clock::now();
+        result.records[task.record_slot] =
+            tracer.run_play(task, result.users[task.user_index], ctx);
+        const double dt = wall_since(play_start);
+        ++wp->plays;
+        wp->busy_seconds += dt;
+        if (dt > wp->max_play_seconds) wp->max_play_seconds = dt;
+      } else {
+        result.records[task.record_slot] =
+            tracer.run_play(task, result.users[task.user_index], ctx);
+      }
     }
   };
+  Clock::time_point exec_start{};
+  if (profiling) exec_start = Clock::now();
   if (n_threads == 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(n_threads));
-    for (int i = 0; i < n_threads; ++i) pool.emplace_back(worker);
+    for (int i = 0; i < n_threads; ++i) pool.emplace_back(worker, i);
     for (auto& t : pool) t.join();
+  }
+  if (profiling) {
+    result.profile.execute_seconds = wall_since(exec_start);
+    // Idle = starvation: wall this worker spent off-task while the phase was
+    // still running (queue drained, or waiting on the last straggler play).
+    for (auto& wp : result.profile.workers) {
+      wp.idle_seconds =
+          std::max(0.0, result.profile.execute_seconds - wp.busy_seconds);
+    }
   }
   return result;
 }

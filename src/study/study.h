@@ -21,11 +21,34 @@ struct StudyConfig {
   int threads = 0;  // 0 = hardware concurrency
   // Scale factor on per-user play counts (quick test runs set < 1).
   double play_scale = 1.0;
+  // Worker self-profiling (--profile): wall-clock phase timings and per-play
+  // costs. Off by default — the execute loop then takes no clock reads at
+  // all. Wall-clock data never feeds back into simulation state, so results
+  // are identical either way; like obs/telemetry it is excluded from the
+  // study-cache config fingerprint and never serialized.
+  bool profile = false;
+};
+
+// One worker thread's execution-phase accounting.
+struct WorkerProfile {
+  std::uint64_t plays = 0;          // tasks this worker executed
+  double busy_seconds = 0.0;        // wall time inside run_play
+  double idle_seconds = 0.0;        // execute wall minus busy (starvation)
+  double max_play_seconds = 0.0;    // costliest single play
+};
+
+// Study-level profile: plan/execute phase walls plus per-worker breakdown.
+struct StudyProfile {
+  bool enabled = false;
+  double plan_seconds = 0.0;     // serial planning pass (incl. access plan)
+  double execute_seconds = 0.0;  // parallel execution phase wall
+  std::vector<WorkerProfile> workers;  // one per worker thread
 };
 
 struct StudyResult {
   std::vector<world::UserProfile> users;
   std::vector<tracer::TraceRecord> records;
+  StudyProfile profile;  // populated only when config.profile
 
   // Records from non-firewalled users (the paper's analysis set,
   // availability included — Fig 10 uses these).

@@ -1,0 +1,68 @@
+// Study-level telemetry rollups, bottleneck attribution, the anomaly flight
+// recorder, series CSV export, and the worker self-profile report.
+// Everything here renders from slot-ordered in-memory records, so all
+// outputs are byte-identical at any worker-thread count.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.h"
+#include "study/study.h"
+
+namespace rv::study {
+
+// Flight-recorder anomaly predicates: a play trips when its total rebuffer
+// time exceeds `rebuffer_seconds`, its transport ladder fell all the way to
+// the HTTP cloak, or it played frames at under `min_fps`.
+struct FlightPredicates {
+  double rebuffer_seconds = 10.0;
+  double min_fps = 3.0;
+  bool http_cloak = true;
+};
+
+// Names of the predicates `rec` trips, in fixed order ("rebuffer",
+// "http-cloak", "low-fps"). Empty for healthy (or non-analyzable) plays.
+std::vector<std::string> flight_reasons(const tracer::TraceRecord& rec,
+                                        const FlightPredicates& pred);
+
+// Dumps one JSON document per anomalous play into `dir` (created if
+// missing), named flight_u<user>_s<record slot>.json, slot order. Each dump
+// carries the play's metadata, tripped predicates, full event ring +
+// counters (when obs ran) and sampled series (when telemetry ran). Returns
+// the number of files written, or -1 on any I/O failure.
+int write_flight_records(const std::string& dir, const StudyResult& result,
+                         const FlightPredicates& pred = {});
+
+// Bottleneck attribution: connection-class label -> play count per path
+// link (layout order, world::PlayPath::kLinkCount wide). A play is
+// attributed to telemetry::bottleneck_link of its series; plays without a
+// series are skipped.
+std::map<std::string, std::vector<int>> bottleneck_table(
+    const StudyResult& result);
+
+// Renders the telemetry rollup: sample-level fps/bandwidth p50/p95/p99 per
+// connection class, user region, and server (merged per-play
+// stats::MergeableHistogram sketches), plus the bottleneck attribution
+// table. Empty string when no record carries a series.
+std::string telemetry_report(const StudyResult& result);
+
+// Exports every play's series as CSV, one row per sample:
+//   user_id,record_slot,clip_id,server,t_usec,buffer_sec,fps,bandwidth_kbps,
+//   cwnd_bytes,retx_per_sec,<link>_occupancy,<link>_drops,...
+// Throws (via CsvWriter) when the file cannot be opened.
+void write_series_csv(const std::string& path,
+                      const std::vector<tracer::TraceRecord>& records);
+
+// Converts a play's sampled series into Chrome trace "C"-phase counter
+// tracks (obs::PlayTrack::counters), link columns named via
+// world::path_link_name. Empty when the series is disabled or empty.
+std::vector<obs::CounterSeries> chrome_counter_series(
+    const telemetry::PlaySeries& series);
+
+// Renders the worker self-profile (--profile): plan/execute phase walls and
+// the per-worker plays/busy/idle/max-play breakdown.
+std::string profile_report(const StudyProfile& profile);
+
+}  // namespace rv::study

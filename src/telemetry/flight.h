@@ -1,0 +1,38 @@
+// Anomaly flight recorder: when a play trips an anomaly predicate (decided
+// by the study layer), its full event ring and telemetry series are
+// persisted as one JSON document per play. Dumps are rendered from
+// slot-ordered in-memory records, so the file set and every file's bytes
+// are identical at any worker-thread count.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+#include "telemetry/series.h"
+
+namespace rv::telemetry {
+
+// Everything one flight dump needs. `meta` values are pre-rendered JSON
+// (callers quote strings with util::json_quote; numbers/bools go verbatim),
+// keeping this layer ignorant of study/tracer record types.
+struct FlightInfo {
+  std::vector<std::pair<std::string, std::string>> meta;  // name -> JSON value
+  std::vector<std::string> reasons;       // tripped predicate names
+  const obs::PlayObs* obs = nullptr;      // optional: event ring + counters
+  const PlaySeries* series = nullptr;     // optional: sampled series
+};
+
+// Renders the flight document:
+//   {"meta":{...},"reasons":[...],"events":[...],"counters":{...},
+//    "series":{"interval_usec":N,"t":[...],...,"links":[{...},...]}}
+// Events carry sim-time stamps and decoded code/category names; absent
+// obs/series sections are omitted entirely.
+std::string flight_json(const FlightInfo& info);
+
+// Writes flight_json(info) to `path` (truncating). Returns false on any I/O
+// failure.
+bool write_flight_json(const std::string& path, const FlightInfo& info);
+
+}  // namespace rv::telemetry

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "client/real_player.h"
+#include "telemetry/sampler.h"
 #include "tracer/rating.h"
 #include "util/check.h"
 
@@ -167,11 +168,39 @@ TraceRecord RealTracer::run_session(
     }
   }
 
+  // The sampler only *reads* player/server/link state on a fixed sim-time
+  // grid — no rng draws, no observable mutation — so enabling it cannot
+  // change the play's outcome (its timer events renumber later event seqs,
+  // which never reorders existing ties; see telemetry/series.h).
+  std::optional<telemetry::PlaySampler> sampler;
+  if (config_.telemetry.enabled) {
+    ctx.series.reset(world::PlayPath::kLinkCount);
+    telemetry::Probe probe;
+    probe.buffer_sec = [&player] { return player.buffered_media_seconds(); };
+    probe.frames_played = [&player] { return player.frames_played_so_far(); };
+    probe.bytes_received = [&player] {
+      return player.bytes_received_so_far();
+    };
+    probe.cwnd_bytes = [&server] { return server.last_session_cwnd_bytes(); };
+    probe.tcp_retransmits = [&server] {
+      return server.last_session_tcp_retransmits();
+    };
+    probe.finished = [&player] { return player.finished(); };
+    sampler.emplace(sim, path.network.get(), world::PlayPath::kLinkCount,
+                    std::move(probe), &ctx.series, config_.telemetry.interval);
+    sampler->start();
+  }
+
   player.start();
   sim.run_until(config_.play_horizon);
 
   rec.available = !player.clip_unavailable();
   rec.stats = player.stats();
+  if (config_.telemetry.enabled) {
+    rec.series.enabled = true;
+    rec.series.interval = config_.telemetry.interval;
+    rec.series.data = ctx.series;
+  }
   if (observe) {
     obs_scope.reset();  // stop recording before the snapshot
     ctx.sink.counters.add(obs::Counter::kSimEvents, sim.events_executed());

@@ -11,6 +11,7 @@
 #include "faults/schedule.h"
 #include "media/catalog.h"
 #include "server/real_server.h"
+#include "telemetry/series.h"
 #include "tracer/play_plan.h"
 #include "tracer/record.h"
 #include "world/path_builder.h"
@@ -44,6 +45,9 @@ struct TracerConfig {
   // Per-play tracing + counters (docs/OBSERVABILITY.md). Excluded from the
   // study-cache fingerprint: purely observational, never changes results.
   obs::ObsConfig obs;
+  // Per-play time-series sampling (src/telemetry). Same fingerprint
+  // exclusion and determinism contract as obs.
+  telemetry::TelemetryConfig telemetry;
 };
 
 // Reusable per-worker execution state. The Simulator and the path scratch
@@ -55,6 +59,7 @@ struct PlayContext {
   sim::Simulator sim;
   world::PlayPath path;  // path.network, when reused, schedules into `sim`
   obs::PlaySink sink;    // reused ring + counters for observed plays
+  telemetry::Series series;  // reused sample columns for telemetry plays
 
   PlayContext() = default;
   PlayContext(const PlayContext&) = delete;

@@ -6,6 +6,7 @@
 
 #include "client/clip_stats.h"
 #include "obs/trace.h"
+#include "telemetry/series.h"
 #include "world/types.h"
 
 namespace rv::tracer {
@@ -36,6 +37,10 @@ struct TraceRecord {
   // deliberately never serialized into the study cache, so cache bytes (and
   // the md5 the bench gate pins) are identical with tracing on or off.
   obs::PlayObs obs;
+
+  // Sampled time-series telemetry when --telemetry is enabled. Same cache
+  // contract as obs: in-memory only.
+  telemetry::PlaySeries series;
 
   bool rated() const { return rating >= 0.0; }
   // A record that contributes to the performance analysis (played,

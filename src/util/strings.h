@@ -32,4 +32,13 @@ std::string str_cat(const Args&... args) {
 // printf-style double formatting with fixed decimals.
 std::string format_double(double v, int decimals);
 
+// Appends `s` to `out` as JSON string *content* (no surrounding quotes):
+// escapes quote, backslash, and every control character below 0x20 (\n, \t,
+// \r get their short forms; the rest become \u00XX). Shared by the Chrome
+// trace exporter and the telemetry flight-recorder dumps.
+void json_escape(std::string& out, std::string_view s);
+
+// `s` as a complete JSON string token, quotes included.
+std::string json_quote(std::string_view s);
+
 }  // namespace rv::util

@@ -156,4 +156,19 @@ void PathBuilder::build_into(PlayPath& path, sim::Simulator& sim,
       << "PlayPath link layout changed; update PlayPath::LinkIndex";
 }
 
+std::string path_link_name(std::size_t index) {
+  switch (index) {
+    case PlayPath::kAccessLink:
+      return "access";
+    case PlayPath::kIspUplink:
+      return "isp-uplink";
+    case PlayPath::kWanCorridor:
+      return "wan-corridor";
+    case PlayPath::kServerAccess:
+      return "server-access";
+    default:
+      return "link" + std::to_string(index);
+  }
+}
+
 }  // namespace rv::world

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/cross_traffic.h"
@@ -42,6 +43,11 @@ struct PlayPath {
     for (auto& src : cross_traffic) src->start();
   }
 };
+
+// Canonical name of a PlayPath::LinkIndex ("access", "isp-uplink",
+// "wan-corridor", "server-access"); "link<i>" for anything beyond the fixed
+// layout. Used by the telemetry bottleneck-attribution table and series CSV.
+std::string path_link_name(std::size_t index);
 
 struct PathBuilderConfig {
   // Per-flow effective capacity cap for wide-area segments.

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -72,6 +73,47 @@ TEST(TraceEventLayout, CatIsDerivedFromCode) {
   for (int c = 0; c < static_cast<int>(Counter::kCount); ++c) {
     EXPECT_STRNE(counter_name(static_cast<Counter>(c)), "unknown");
   }
+}
+
+TEST(TraceEventLayout, CodeAndCounterNamesAreUniqueAndNonEmpty) {
+  std::set<std::string> code_names;
+  for (int c = 0; c < static_cast<int>(Code::kCodeCount); ++c) {
+    const char* name = code_name(static_cast<Code>(c));
+    EXPECT_STRNE(name, "");
+    code_names.insert(name);
+  }
+  EXPECT_EQ(code_names.size(), static_cast<std::size_t>(Code::kCodeCount));
+  std::set<std::string> counter_names;
+  for (int c = 0; c < static_cast<int>(Counter::kCount); ++c) {
+    const char* name = counter_name(static_cast<Counter>(c));
+    EXPECT_STRNE(name, "");
+    counter_names.insert(name);
+  }
+  EXPECT_EQ(counter_names.size(), static_cast<std::size_t>(Counter::kCount));
+}
+
+TEST(ParseTracePlay, AcceptsExactlyTwoNonNegativeInts) {
+  const auto ok = parse_trace_play("3,7");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->first, 3);
+  EXPECT_EQ(ok->second, 7);
+  const auto zero = parse_trace_play("0,0");
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_EQ(zero->first, 0);
+  EXPECT_EQ(zero->second, 0);
+}
+
+TEST(ParseTracePlay, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_trace_play("").has_value());
+  EXPECT_FALSE(parse_trace_play("5").has_value());
+  EXPECT_FALSE(parse_trace_play("1,2,3").has_value());  // trailing field
+  EXPECT_FALSE(parse_trace_play("1,").has_value());
+  EXPECT_FALSE(parse_trace_play(",2").has_value());
+  EXPECT_FALSE(parse_trace_play("-1,2").has_value());
+  EXPECT_FALSE(parse_trace_play("1,-2").has_value());
+  EXPECT_FALSE(parse_trace_play("a,b").has_value());
+  EXPECT_FALSE(parse_trace_play("1,2x").has_value());
+  EXPECT_FALSE(parse_trace_play("99999999999,1").has_value());  // > int32
 }
 
 TEST(Hooks, NoSinkInstalledIsANoOp) {
@@ -181,6 +223,25 @@ TEST(ChromeTrace, StructureAndSpanPairing) {
   empty.obs = nullptr;
   const std::string skipped = chrome_trace_json({empty});
   EXPECT_EQ(skipped.find("\"ph\":\"B\""), std::string::npos);
+}
+
+TEST(CounterTotals, SumsMonotonicCountersButMaxesGauges) {
+  std::vector<tracer::TraceRecord> records(3);
+  records[0].obs.enabled = true;
+  records[0].obs.counters.add(Counter::kRebuffers, 2);
+  records[0].obs.counters.set_max(Counter::kFallbackDepth, 1);
+  records[1].obs.enabled = true;
+  records[1].obs.counters.add(Counter::kRebuffers, 3);
+  records[1].obs.counters.set_max(Counter::kFallbackDepth, 2);
+  // Untraced record: its (zero) counters must not contribute.
+  records[2].obs.counters.add(Counter::kRebuffers, 100);
+  records[2].obs.enabled = false;
+
+  const Counters totals = study::counter_totals(records);
+  EXPECT_EQ(totals.get(Counter::kRebuffers), 5u);
+  // kFallbackDepth is a high-water gauge: study level takes the max across
+  // plays (a depth-2 play and a depth-1 play is "worst was 2", not 3).
+  EXPECT_EQ(totals.get(Counter::kFallbackDepth), 2u);
 }
 
 // --- study-level determinism ----------------------------------------------

@@ -261,5 +261,64 @@ TEST(Csv, WritesRows) {
   EXPECT_EQ(line, "1.5,0.25");
 }
 
+TEST(MergeableHistogram, AddClampsIntoEdgeBins) {
+  MergeableHistogram h(0.0, 10.0, 10);
+  h.add(-5.0);      // below range -> first bin
+  h.add(1e9);       // above range -> last bin
+  h.add(10.0);      // exactly hi -> last bin
+  h.add(4.5);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+}
+
+TEST(MergeableHistogram, MergeIsCommutativeAndAssociativeBinExact) {
+  util::Rng rng(17);
+  const auto make = [&](int n, double lo, double hi) {
+    MergeableHistogram h(0.0, 100.0, 64);
+    for (int i = 0; i < n; ++i) h.add(rng.uniform(lo, hi));
+    return h;
+  };
+  const MergeableHistogram a = make(500, 0.0, 40.0);
+  const MergeableHistogram b = make(300, 20.0, 90.0);
+  const MergeableHistogram c = make(200, -10.0, 120.0);
+
+  MergeableHistogram ab = a;
+  ab.merge(b);
+  MergeableHistogram ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);  // commutative, counts bin-exact
+
+  MergeableHistogram ab_c = ab;
+  ab_c.merge(c);
+  MergeableHistogram bc = b;
+  bc.merge(c);
+  MergeableHistogram a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c, a_bc);  // associative
+  EXPECT_EQ(ab_c.total(), 1000u);
+}
+
+TEST(MergeableHistogram, MergeRequiresSameGeometry) {
+  const MergeableHistogram a(0.0, 10.0, 10);
+  const MergeableHistogram b(0.0, 10.0, 20);
+  const MergeableHistogram c(0.0, 20.0, 10);
+  EXPECT_FALSE(a.same_geometry(b));
+  EXPECT_FALSE(a.same_geometry(c));
+  EXPECT_TRUE(a.same_geometry(MergeableHistogram(0.0, 10.0, 10)));
+}
+
+TEST(MergeableHistogram, QuantilesInterpolateWithinBins) {
+  MergeableHistogram h(0.0, 10.0, 10);
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));  // empty
+  for (int i = 0; i < 100; ++i) h.add(i * 0.1);  // ~uniform over [0, 10)
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 0.2);
+  EXPECT_NEAR(h.quantile(0.95), 9.5, 0.2);
+  EXPECT_LE(h.quantile(0.0), h.quantile(0.5));
+  EXPECT_LE(h.quantile(0.5), h.quantile(1.0));
+  EXPECT_LE(h.quantile(1.0), 10.0);
+}
+
 }  // namespace
 }  // namespace rv::stats

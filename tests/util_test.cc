@@ -348,5 +348,29 @@ TEST(SmallVec, ClearKeepsHeapCapacityAndRangeForWorks) {
   EXPECT_EQ(sum, 42);
 }
 
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  const auto escaped = [](std::string_view s) {
+    std::string out;
+    util::json_escape(out, s);
+    return out;
+  };
+  EXPECT_EQ(escaped("plain text"), "plain text");
+  EXPECT_EQ(escaped("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escaped("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(escaped("a\nb\rc\td"), "a\\nb\\rc\\td");
+  EXPECT_EQ(escaped(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  // Appends to existing content rather than replacing it.
+  std::string out = "pre:";
+  util::json_escape(out, "x");
+  EXPECT_EQ(out, "pre:x");
+}
+
+TEST(JsonQuote, WrapsAndEscapes) {
+  EXPECT_EQ(util::json_quote("abc"), "\"abc\"");
+  EXPECT_EQ(util::json_quote(""), "\"\"");
+  EXPECT_EQ(util::json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(util::json_quote("line\nbreak"), "\"line\\nbreak\"");
+}
+
 }  // namespace
 }  // namespace rv

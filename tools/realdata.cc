@@ -17,8 +17,15 @@
 //        --trace <path> (Chrome trace_event JSON of every play; forces a
 //        fresh run since traces are never cached) and
 //        --trace-play <user,play> (restrict tracing to one play).
+//        --telemetry (per-play time-series sampling),
+//        --telemetry-interval-ms <n> (sim-time sample spacing, default 500),
+//        --series-csv <path> (export every sampled series as CSV),
+//        --flight-dir <dir> (anomaly flight-recorder JSON dumps; implies
+//        --telemetry and event tracing), --profile (worker self-profile).
+//        Like --trace, these force a fresh run: series live only in memory.
 //        Malformed numeric flag values are an error (exit 2), not a
 //        silent fallback to the default.
+#include <exception>
 #include <filesystem>
 #include <iostream>
 #include <map>
@@ -29,6 +36,7 @@
 #include "study/analysis.h"
 #include "study/cache.h"
 #include "study/figures.h"
+#include "study/telemetry_report.h"
 #include "util/args.h"
 #include "util/strings.h"
 
@@ -245,6 +253,7 @@ int cmd_write_trace(const study::StudyResult& result,
     t.thread_name = "play " + std::to_string(tid) + " clip " +
                     std::to_string(r.clip_id) + " " + r.server_name;
     t.obs = &r.obs;
+    t.counters = study::chrome_counter_series(r.series);
     tracks.push_back(t);
   }
   if (!obs::write_chrome_trace(path, tracks)) {
@@ -270,7 +279,9 @@ int main(int argc, char** argv) {
     std::cout << "usage: realdata <summary|fig N|slice|users|servers|"
                  "export DIR> [--scale X] [--seed N] [--threads N] "
                  "[--faults [--outage-scale X]] [--trace PATH "
-                 "[--trace-play U,P]] [slice flags]\n";
+                 "[--trace-play U,P]] [--telemetry] "
+                 "[--telemetry-interval-ms N] [--series-csv PATH] "
+                 "[--flight-dir DIR] [--profile] [slice flags]\n";
     return args.has("help") ? 0 : 1;
   }
 
@@ -294,35 +305,86 @@ int main(int argc, char** argv) {
     }
     config.tracer.obs.enabled = true;
     if (const auto tp = args.get("trace-play")) {
-      const auto parts = util::split(*tp, ',');
-      const auto u = parts.empty() ? std::nullopt : util::parse_int(parts[0]);
-      const auto pl =
-          parts.size() < 2 ? std::nullopt : util::parse_int(parts[1]);
-      if (!u || !pl || *u < 0 || *pl < 0) {
-        std::cerr << "--trace-play expects <user,play> (got '" << *tp
-                  << "')\n";
+      const auto parsed = obs::parse_trace_play(*tp);
+      if (!parsed) {
+        std::cerr << "--trace-play expects exactly <user,play> with "
+                     "non-negative integers (got '" << *tp << "')\n";
         return 2;
       }
-      config.tracer.obs.filter_user = static_cast<std::int32_t>(*u);
-      config.tracer.obs.filter_play = static_cast<std::int32_t>(*pl);
+      config.tracer.obs.filter_user = parsed->first;
+      config.tracer.obs.filter_play = parsed->second;
     }
   }
+
+  // Telemetry / flight-recorder / profiling flags, validated strictly.
+  const bool want_series_csv = args.has("series-csv");
+  const std::string series_csv = args.get_or("series-csv", "");
+  if (want_series_csv && series_csv.empty()) {
+    std::cerr << "--series-csv requires a file path\n";
+    return 2;
+  }
+  const bool want_flight = args.has("flight-dir");
+  const std::string flight_dir = args.get_or("flight-dir", "");
+  if (want_flight && flight_dir.empty()) {
+    std::cerr << "--flight-dir requires a directory\n";
+    return 2;
+  }
+  const bool want_telemetry =
+      args.has("telemetry") || want_series_csv || want_flight;
+  const auto interval_ms = args.get_int("telemetry-interval-ms", 500);
+  if (args.has("telemetry-interval-ms") && interval_ms <= 0) {
+    std::cerr << "--telemetry-interval-ms must be a positive integer (got "
+              << interval_ms << ")\n";
+    return 2;
+  }
+  if (want_telemetry) {
+    config.tracer.telemetry.enabled = true;
+    config.tracer.telemetry.interval = msec(interval_ms);
+  }
+  // Flight dumps carry the full event ring, so anomaly capture turns the
+  // obs layer on too.
+  if (want_flight) config.tracer.obs.enabled = true;
+  const bool want_profile = args.has("profile");
+  config.profile = want_profile;
+
   if (!args.errors().empty()) {
     for (const auto& err : args.errors()) std::cerr << err << "\n";
     return 2;
   }
-  // Traces live only in memory, so a --trace run cannot be satisfied from
-  // the cache; it re-runs and re-saves byte-identical cache contents.
-  const study::StudyResult result =
-      study::run_study_cached(config, /*force_run=*/want_trace);
+  // Traces, series and profiles live only in memory, so such a run cannot be
+  // satisfied from the cache; it re-runs and re-saves byte-identical cache
+  // contents.
+  const bool force_run = want_trace || want_telemetry || want_profile ||
+                         config.tracer.obs.enabled;
+  const study::StudyResult result = study::run_study_cached(config, force_run);
   if (want_trace) {
     const int rc = cmd_write_trace(result, trace_path);
     if (rc != 0) return rc;
   }
+  if (want_series_csv) {
+    try {
+      study::write_series_csv(series_csv, result.records);
+    } catch (const std::exception& e) {
+      std::cerr << "cannot write series CSV: " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << series_csv << "\n";
+  }
+  if (want_flight) {
+    const int n = study::write_flight_records(flight_dir, result);
+    if (n < 0) {
+      std::cerr << "cannot write flight records under " << flight_dir << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << n << " flight record(s) under " << flight_dir
+              << "\n";
+  }
 
+  int rc = 1;
   const std::string& command = args.positional()[0];
-  if (command == "summary") return cmd_summary(result);
-  if (command == "fig") {
+  if (command == "summary") {
+    rc = cmd_summary(result);
+  } else if (command == "fig") {
     if (args.positional().size() < 2) {
       std::cerr << "fig requires a figure number\n";
       return 1;
@@ -333,16 +395,27 @@ int main(int argc, char** argv) {
                 << args.positional()[1] << "'\n";
       return 2;
     }
-    return cmd_fig(result, config, static_cast<int>(*fig));
+    rc = cmd_fig(result, config, static_cast<int>(*fig));
+  } else if (command == "slice") {
+    rc = cmd_slice(result, args);
+  } else if (command == "users") {
+    rc = cmd_users(result);
+  } else if (command == "servers") {
+    rc = cmd_servers(result);
+  } else if (command == "export") {
+    rc = cmd_export(result, args.positional().size() > 1
+                                ? args.positional()[1]
+                                : "realdata_export");
+  } else {
+    std::cerr << "unknown command: " << command << "\n";
+    return 1;
   }
-  if (command == "slice") return cmd_slice(result, args);
-  if (command == "users") return cmd_users(result);
-  if (command == "servers") return cmd_servers(result);
-  if (command == "export") {
-    return cmd_export(result, args.positional().size() > 1
-                                  ? args.positional()[1]
-                                  : "realdata_export");
+  // The bottleneck/rollup table and the worker profile ride along after
+  // whichever command ran.
+  if (want_telemetry) {
+    const std::string report = study::telemetry_report(result);
+    if (!report.empty()) std::cout << "\n" << report;
   }
-  std::cerr << "unknown command: " << command << "\n";
-  return 1;
+  if (want_profile) std::cout << "\n" << study::profile_report(result.profile);
+  return rc;
 }

@@ -7,19 +7,25 @@
 //                      s-america|middle-east]
 //            [--clip <playlist-index 0..97>] [--protocol auto|tcp]
 //            [--live] [--watch <seconds>] [--seed <n>] [--samples]
-//            [--trace <path>]
+//            [--trace <path>] [--telemetry] [--telemetry-interval-ms <n>]
+//            [--series-csv <path>]
 //
 // --trace writes the play's event trace as Chrome trace_event JSON (load in
-// chrome://tracing or ui.perfetto.dev; see docs/OBSERVABILITY.md). Malformed
-// numeric flag values exit 2 instead of silently using the default.
+// chrome://tracing or ui.perfetto.dev; see docs/OBSERVABILITY.md).
+// --telemetry samples the play's time series (default every 500 ms of
+// sim-time); with --trace the series also becomes "C"-phase counter tracks,
+// and --series-csv exports it as CSV. Malformed numeric flag values exit 2
+// instead of silently using the default.
 //
 // Examples:
 //   retracer --connection modem --clip 8
 //   retracer --connection dsl --region australia --protocol tcp --samples
+#include <exception>
 #include <iostream>
 
 #include "obs/chrome_trace.h"
 #include "study/study.h"
+#include "study/telemetry_report.h"
 #include "tracer/real_tracer.h"
 #include "util/args.h"
 #include "util/strings.h"
@@ -60,7 +66,8 @@ int main(int argc, char** argv) {
     std::cout << "usage: retracer [--connection modem|dsl|t1] [--pc <class>]"
                  " [--region <name>] [--clip <0..97>] [--protocol auto|tcp]"
                  " [--live] [--watch <sec>] [--seed <n>] [--samples]"
-                 " [--trace <path>]\n";
+                 " [--trace <path>] [--telemetry]"
+                 " [--telemetry-interval-ms <n>] [--series-csv <path>]\n";
     return 0;
   }
 
@@ -81,6 +88,22 @@ int main(int argc, char** argv) {
       return 2;
     }
     tracer_cfg.obs.enabled = true;
+  }
+  const bool want_series_csv = args.has("series-csv");
+  const std::string series_csv = args.get_or("series-csv", "");
+  if (want_series_csv && series_csv.empty()) {
+    std::cerr << "--series-csv requires a file path\n";
+    return 2;
+  }
+  const auto interval_ms = args.get_int("telemetry-interval-ms", 500);
+  if (args.has("telemetry-interval-ms") && interval_ms <= 0) {
+    std::cerr << "--telemetry-interval-ms must be a positive integer (got "
+              << interval_ms << ")\n";
+    return 2;
+  }
+  if (args.has("telemetry") || want_series_csv) {
+    tracer_cfg.telemetry.enabled = true;
+    tracer_cfg.telemetry.interval = msec(interval_ms);
   }
   const tracer::RealTracer tracer(catalog, graph, tracer_cfg);
 
@@ -118,12 +141,29 @@ int main(int argc, char** argv) {
     track.thread_name = "clip " + std::to_string(rec.clip_id) + " " +
                         rec.server_name;
     track.obs = &rec.obs;
+    track.counters = study::chrome_counter_series(rec.series);
     if (!obs::write_chrome_trace(trace_path, {track})) {
       std::cerr << "cannot write trace file: " << trace_path << "\n";
       return 2;
     }
     std::cout << "trace:       " << trace_path << " ("
               << rec.obs.events.size() << " events)\n";
+  }
+  if (want_series_csv) {
+    try {
+      study::write_series_csv(series_csv, {rec});
+    } catch (const std::exception& e) {
+      std::cerr << "cannot write series CSV: " << e.what() << "\n";
+      return 2;
+    }
+    std::cout << "series:      " << series_csv << " ("
+              << rec.series.data.size() << " samples)\n";
+  }
+  if (rec.series.enabled) {
+    std::cout << "telemetry:   " << rec.series.data.size()
+              << " samples every "
+              << util::format_double(to_seconds(rec.series.interval) * 1e3, 0)
+              << " ms\n";
   }
 
   const auto& clip = catalog.clip(playlist_index);
