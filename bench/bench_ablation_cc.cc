@@ -1,0 +1,224 @@
+// Ablation: pluggable TCP congestion control (Reno / CUBIC / BBR).
+//
+// Two views of the same question — how much of the paper's poor-TCP story
+// is the congestion controller rather than the path:
+//
+//  1. A loss x jitter grid of bulk TCP transfers over a fixed bottleneck
+//     (4 Mbit/s, 84 ms base RTT, 64 kB queue), goodput mean and CV across
+//     seeds per cell. Reproduces the jittertrap orderings: random
+//     (non-congestive) loss starves loss-based CC while BBR's model holds
+//     near the wire rate, and delay jitter past ~20% of RTT fakes dupACK
+//     loss signals with the same effect.
+//  2. Tracer plays (force-TCP, SACK on, congested regime) per backend:
+//     the rebuffer-rate view a viewer would experience.
+//
+// `--grid-json=PATH` additionally dumps the grid as JSON (consumed by
+// scripts/run_bench.py --cc-grid to update BENCH_sim.json); `--quick` runs
+// a single-cell, single-seed grid as a CI smoke.
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <memory>
+
+#include "ablation_common.h"
+#include "net/link.h"
+#include "net/network.h"
+#include "transport/congestion_control.h"
+#include "transport/tcp.h"
+#include "util/rng.h"
+
+namespace {
+
+using rv::transport::CcAlgorithm;
+
+struct NoMeta : rv::net::PayloadMeta {};
+
+// Bulk-transfer goodput (bytes/sec delivered to the receiving app) over a
+// client -> server path whose bottleneck suffers random per-packet loss
+// and/or per-packet delay jitter on the data direction. Mirrors the
+// CcScenario regression harness in tests/congestion_control_test.cc.
+double bulk_goodput(CcAlgorithm algorithm, double loss_prob,
+                    double jitter_frac_of_rtt, std::uint64_t seed,
+                    rv::SimTime horizon) {
+  namespace net = rv::net;
+  rv::sim::Simulator sim;
+  net::Network netw(sim);
+  const net::NodeId client_id = netw.add_node("client");
+  const net::NodeId ra = netw.add_node("ra");
+  const net::NodeId rb = netw.add_node("rb");
+  const net::NodeId server_id = netw.add_node("server");
+  netw.add_link(client_id, ra, rv::mbps(100), rv::msec(1));
+  net::Link& bottleneck =
+      netw.add_link(ra, rb, rv::mbps(4), rv::msec(40), 64 * 1024);
+  netw.add_link(rb, server_id, rv::mbps(100), rv::msec(1));
+  netw.compute_routes();
+  // Base RTT is 2*(1+40+1) = 84 ms; jitter is quoted as a fraction of it.
+  const auto jitter_max =
+      static_cast<std::int64_t>(jitter_frac_of_rtt * 84'000.0);
+
+  auto rng = std::make_shared<rv::util::Rng>(seed * 6151 + 11);
+  net::LinkDirection& data_dir = bottleneck.direction_from(ra);
+  if (loss_prob > 0.0) {
+    data_dir.set_fault_filter([rng, loss_prob](const net::Packet& p,
+                                               rv::SimTime) {
+      // Only data-bearing packets; pure ACKs ride the reverse direction.
+      return p.size_bytes >= 500 && rng->bernoulli(loss_prob);
+    });
+  }
+  if (jitter_max > 0) {
+    data_dir.set_delay_jitter([rng, jitter_max](rv::SimTime) {
+      return rng->uniform_int(0, jitter_max);
+    });
+  }
+
+  rv::transport::TransportMux client_mux(netw, client_id);
+  rv::transport::TransportMux server_mux(netw, server_id);
+  rv::transport::TcpConfig cfg;
+  cfg.cc = algorithm;
+  cfg.sack_enabled = true;
+  std::unique_ptr<rv::transport::TcpConnection> accepted;
+  rv::transport::TcpListener listener(
+      server_mux, 80, cfg,
+      [&](std::unique_ptr<rv::transport::TcpConnection> c) {
+        accepted = std::move(c);
+      });
+  rv::transport::TcpConnection client(client_mux, cfg);
+  client.set_on_established([&] {
+    for (int i = 0; i < 20'000; ++i) {  // 20 MB: never source-limited
+      client.send_chunk(1000, std::make_shared<NoMeta>());
+    }
+  });
+  client.connect({server_id, 80});
+  sim.run_until(horizon);
+  if (accepted == nullptr) return 0.0;
+  return static_cast<double>(accepted->stats().bytes_delivered) /
+         rv::to_seconds(horizon);
+}
+
+struct Cell {
+  double mean = 0.0;
+  double cv = 0.0;
+};
+
+Cell grid_cell(CcAlgorithm algorithm, double loss, double jitter,
+               int seeds, rv::SimTime horizon) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int s = 1; s <= seeds; ++s) {
+    const double v = bulk_goodput(algorithm, loss, jitter,
+                                  static_cast<std::uint64_t>(s), horizon);
+    sum += v;
+    sum_sq += v * v;
+  }
+  Cell cell;
+  cell.mean = sum / seeds;
+  const double var =
+      seeds > 1 ? (sum_sq - sum * sum / seeds) / (seeds - 1) : 0.0;
+  cell.cv = cell.mean > 0.0 ? std::sqrt(std::max(var, 0.0)) / cell.mean : 0.0;
+  return cell;
+}
+
+rv::tracer::TracerConfig play_variant(CcAlgorithm algorithm) {
+  rv::tracer::TracerConfig cfg;
+  cfg.tcp_cc = algorithm;
+  cfg.tcp_sack = true;               // scoreboard recovery for every backend
+  cfg.direct_tcp_probability = 1.0;  // TCP-only comparison
+  cfg.path.episode_probability = 0.20;  // congested regime
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* grid_json = nullptr;
+  bool quick = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--grid-json=", 12) == 0) {
+      grid_json = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  const std::vector<double> losses =
+      quick ? std::vector<double>{0.05} : std::vector<double>{0.0, 0.01, 0.03, 0.05};
+  const std::vector<double> jitters =
+      quick ? std::vector<double>{0.0} : std::vector<double>{0.0, 0.10, 0.25, 0.50};
+  const int seeds = quick ? 1 : 4;
+  const rv::SimTime horizon = quick ? rv::sec(10) : rv::sec(30);
+  const CcAlgorithm algorithms[] = {CcAlgorithm::kReno, CcAlgorithm::kCubic,
+                                    CcAlgorithm::kBbr};
+
+  std::cout << "Ablation: TCP congestion control, bulk goodput (bytes/s) on "
+               "4 Mbit/s / 84 ms RTT / 64 kB queue, "
+            << seeds << " seed(s)\n";
+  std::string json = "{\n  \"grid\": {\n";
+  for (std::size_t a = 0; a < 3; ++a) {
+    const CcAlgorithm algorithm = algorithms[a];
+    const char* name = rv::transport::cc_algorithm_name(algorithm);
+    json += std::string("    \"") + name + "\": {\n";
+    bool first = true;
+    for (const double loss : losses) {
+      for (const double jitter : jitters) {
+        const Cell cell = grid_cell(algorithm, loss, jitter, seeds, horizon);
+        std::cout << "  " << name << " loss="
+                  << rv::util::format_double(100.0 * loss, 0) << "% jitter="
+                  << rv::util::format_double(100.0 * jitter, 0)
+                  << "%rtt  goodput="
+                  << rv::util::format_double(cell.mean, 0)
+                  << "  cv=" << rv::util::format_double(cell.cv, 3) << "\n";
+        char key[64];
+        std::snprintf(key, sizeof(key), "loss%02d_jitter%02d",
+                      static_cast<int>(100.0 * loss + 0.5),
+                      static_cast<int>(100.0 * jitter + 0.5));
+        char row[128];
+        std::snprintf(row, sizeof(row),
+                      "%s      \"%s\": {\"goodput\": %.0f, \"cv\": %.3f}",
+                      first ? "" : ",\n", key, cell.mean, cell.cv);
+        json += row;
+        first = false;
+      }
+    }
+    json += "\n    }";
+    json += (a + 1 < 3) ? ",\n" : "\n";
+  }
+  json += "  },\n  \"rebuffers\": {\n";
+
+  std::cout << "Tracer plays (force-TCP, SACK, congested regime):\n";
+  const int plays = quick ? 4 : 16;
+  for (std::size_t a = 0; a < 3; ++a) {
+    const CcAlgorithm algorithm = algorithms[a];
+    const char* name = rv::transport::cc_algorithm_name(algorithm);
+    const auto stats = rv::bench::run_scenarios(
+        play_variant(algorithm), rv::world::ConnectionClass::kDslCable, plays,
+        7300, /*force_tcp=*/true);
+    rv::bench::print_ablation_row(name, stats);
+    char row[96];
+    std::snprintf(row, sizeof(row), "    \"%s\": %.3f%s\n", name,
+                  stats.mean_rebuffers, (a + 1 < 3) ? "," : "");
+    json += row;
+  }
+  json += "  }\n}\n";
+
+  if (grid_json != nullptr) {
+    std::ofstream f(grid_json);
+    f << json;
+    if (!f) {
+      std::cerr << "failed to write " << grid_json << "\n";
+      return 1;
+    }
+  }
+
+  benchmark::RegisterBenchmark(
+      "ablation/cc_bulk_goodput", [](benchmark::State& state) {
+        for (auto _ : state) {
+          benchmark::DoNotOptimize(
+              bulk_goodput(CcAlgorithm::kBbr, 0.03, 0.0, 1, rv::sec(5)));
+        }
+      });
+  return rv::bench::run_benchmark_tail(argc, argv);
+}

@@ -45,6 +45,18 @@ Modes:
              check the cache md5 is identical with telemetry off/on, and
              check strict telemetry-flag parsing exits non-zero. Needs only
              the realdata binary.
+  --cc-smoke
+             cheap CI gate for pluggable congestion control: check that
+             malformed --cc values exit non-zero, that an explicit
+             `--cc reno` mini-study is byte-identical to the default (the
+             plug-in seam must not perturb the committed study), and run
+             the single-cell bench_ablation_cc --quick grid, asserting BBR
+             out-delivers Reno under 5% random loss (the paper-facing
+             ordering). Needs the realdata and bench_ablation_cc binaries.
+  --cc-grid
+             run the full bench_ablation_cc loss x jitter grid (minutes)
+             and rewrite the `cc_grid` section of BENCH_sim.json with the
+             per-backend goodput/CV cells and tracer rebuffer rates.
 
 With no mode flag it measures and prints, changing nothing.
 
@@ -67,6 +79,8 @@ import time
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BENCH = os.path.join(REPO_ROOT, "build", "bench", "bench_microbench")
+DEFAULT_CC_BENCH = os.path.join(REPO_ROOT, "build", "bench",
+                                "bench_ablation_cc")
 DEFAULT_REALDATA = os.path.join(REPO_ROOT, "build", "tools", "realdata")
 DEFAULT_JSON = os.path.join(REPO_ROOT, "BENCH_sim.json")
 
@@ -209,6 +223,14 @@ def main():
                          "validate the series CSV, thread-count byte-"
                          "identity, Chrome counter tracks, cache-md5 "
                          "invariance, and strict flag parsing")
+    ap.add_argument("--cc-bench-binary", default=DEFAULT_CC_BENCH)
+    ap.add_argument("--cc-smoke", action="store_true",
+                    help="validate strict --cc parsing, the --cc reno "
+                         "byte-identity invariant, and the quick CC-grid "
+                         "ordering (BBR > Reno under random loss)")
+    ap.add_argument("--cc-grid", action="store_true",
+                    help="run the full CC loss x jitter grid (minutes) and "
+                         "rewrite the cc_grid section of BENCH_sim.json")
     ap.add_argument("--seed", type=int, default=2001)
     ap.add_argument("--threads", type=int, default=4)
     args = ap.parse_args()
@@ -309,7 +331,8 @@ def main():
                          "non-zero strict-parsing failure" % bad)
         expected_header = ("user_id,record_slot,clip_id,server,t_usec,"
                            "buffer_sec,fps,bandwidth_kbps,cwnd_bytes,"
-                           "retx_per_sec,access_occupancy,access_drops,"
+                           "retx_per_sec,pacing_kbps,cc_state,"
+                           "access_occupancy,access_drops,"
                            "isp-uplink_occupancy,isp-uplink_drops,"
                            "wan-corridor_occupancy,wan-corridor_drops,"
                            "server-access_occupancy,server-access_drops")
@@ -382,6 +405,112 @@ def main():
                    len(counter_names)))
         finally:
             shutil.rmtree(scratch, ignore_errors=True)
+        return
+
+    if args.cc_smoke:
+        if not os.path.exists(args.realdata_binary):
+            sys.exit("realdata binary not found: %s (build Release first)" %
+                     args.realdata_binary)
+        if not os.path.exists(args.cc_bench_binary):
+            sys.exit("cc bench binary not found: %s (build Release first)" %
+                     args.cc_bench_binary)
+        # Strict --cc parsing: unknown algorithms, wrong case, and a
+        # missing value must all exit non-zero rather than fall back.
+        for bad in (["summary", "--cc", "newreno"],
+                    ["summary", "--cc", "Reno"],
+                    ["summary", "--cc"]):
+            proc = subprocess.run(
+                [args.realdata_binary] + bad, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL)
+            if proc.returncode == 0:
+                sys.exit("cc smoke FAILED: %r exited 0, expected a "
+                         "non-zero strict-parsing failure" % bad)
+        # The CC seam must be invisible when it selects the incumbent:
+        # an explicit `--cc reno` study must be byte-identical to the
+        # default-configured one.
+        scratch = tempfile.mkdtemp(prefix="rv_cc_smoke_")
+        try:
+            digests = {}
+            for cc in (None, "reno"):
+                for f in os.listdir(scratch):
+                    os.unlink(os.path.join(scratch, f))
+                cmd = [args.realdata_binary, "summary",
+                       "--seed", str(args.seed), "--threads", "2",
+                       "--scale", "%g" % args.smoke_scale]
+                if cc:
+                    cmd += ["--cc", cc]
+                subprocess.run(cmd, check=True, cwd=scratch,
+                               stdout=subprocess.DEVNULL,
+                               stderr=subprocess.DEVNULL)
+                caches = sorted(f for f in os.listdir(scratch)
+                                if f.endswith(".cache"))
+                if len(caches) != 1:
+                    raise RuntimeError(
+                        "expected one .cache file, got %r" % caches)
+                digests[cc] = hashlib.md5(open(
+                    os.path.join(scratch, caches[0]), "rb").read()
+                ).hexdigest()
+            if digests[None] != digests["reno"]:
+                sys.exit("cc smoke FAILED: --cc reno cache md5 %s != "
+                         "default %s — the CC seam perturbed the study" %
+                         (digests["reno"], digests[None]))
+            # Single-cell grid: under 5% random (non-congestive) loss the
+            # model-based controller must clearly out-deliver the
+            # loss-based one — the ordering the whole ablation exists to
+            # demonstrate. The quick cell is deterministic (one seed).
+            grid_path = os.path.join(scratch, "cc_quick.json")
+            subprocess.run(
+                [args.cc_bench_binary, "--quick",
+                 "--grid-json=" + grid_path,
+                 "--benchmark_filter=nonexistent"],
+                check=True, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL)
+            grid = json.load(open(grid_path))["grid"]
+            cell = "loss05_jitter00"
+            goodput = {cc: grid[cc][cell]["goodput"]
+                       for cc in ("reno", "cubic", "bbr")}
+            for cc, v in goodput.items():
+                if v <= 0:
+                    sys.exit("cc smoke FAILED: %s goodput %r at %s — "
+                             "transfer did not run" % (cc, v, cell))
+            if goodput["bbr"] < 2.0 * goodput["reno"]:
+                sys.exit("cc smoke FAILED: bbr goodput %.0f < 2x reno "
+                         "%.0f at 5%% random loss — the model-based "
+                         "controller lost its headroom" %
+                         (goodput["bbr"], goodput["reno"]))
+            print("cc smoke passed: strict --cc flags exit non-zero, "
+                  "--cc reno study byte-identical to default (md5 %s), "
+                  "quick grid bbr/reno = %.1fx at 5%% loss" %
+                  (digests[None], goodput["bbr"] / goodput["reno"]))
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        return
+
+    if args.cc_grid:
+        if not os.path.exists(args.cc_bench_binary):
+            sys.exit("cc bench binary not found: %s (build Release first)" %
+                     args.cc_bench_binary)
+        scratch = tempfile.mkdtemp(prefix="rv_cc_grid_")
+        try:
+            grid_path = os.path.join(scratch, "cc_grid.json")
+            print("running full CC loss x jitter grid (minutes)...",
+                  file=sys.stderr)
+            subprocess.run(
+                [args.cc_bench_binary, "--grid-json=" + grid_path,
+                 "--benchmark_filter=nonexistent"],
+                check=True, stderr=subprocess.DEVNULL)
+            cc_grid = json.load(open(grid_path))
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        doc = json.load(open(args.baseline)) if os.path.exists(
+            args.baseline) else {}
+        doc["cc_grid"] = cc_grid
+        with open(args.baseline, "w") as f:
+            json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("wrote cc_grid section (%d backends x %d cells) to %s" %
+              (len(cc_grid["grid"]),
+               len(next(iter(cc_grid["grid"].values()))), args.baseline))
         return
 
     if args.obs_overhead_check:

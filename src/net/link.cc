@@ -61,7 +61,9 @@ void LinkDirection::start_transmission(PooledPacket packet) {
   // Delivery happens tx + propagation later; the transmitter frees after tx.
   // The pool handle moves into the event's inline storage — no allocation,
   // no packet copy.
-  sim_.schedule_in(tx + prop_delay_,
+  const SimTime extra =
+      jitter_ ? std::max<SimTime>(0, jitter_(sim_.now())) : 0;
+  sim_.schedule_in(tx + prop_delay_ + extra,
                    [this, p = std::move(packet)]() mutable {
                      if (deliver_) deliver_(std::move(p));
                    });

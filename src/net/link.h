@@ -33,6 +33,14 @@ struct LinkStats {
 // faults::LinkFaultInjector; null means the link is healthy.
 using FaultFilter = std::function<bool(const Packet& packet, SimTime now)>;
 
+// Extra per-packet propagation delay (>= 0), drawn by the caller-installed
+// hook at transmission time — delay jitter for the congestion-control
+// robustness scenarios. Null (the default) adds exactly nothing, so the
+// delivery schedule — and every pinned study byte — is unchanged. Jittered
+// packets may overtake each other; that reordering is the point (spurious
+// dupACKs are what break loss-based CC).
+using DelayJitter = std::function<SimTime(SimTime now)>;
+
 // One direction of a link. Owned by Link.
 class LinkDirection {
  public:
@@ -50,6 +58,9 @@ class LinkDirection {
 
   // Fault-injection hook, consulted before queueing/transmission.
   void set_fault_filter(FaultFilter filter) { fault_ = std::move(filter); }
+
+  // Delay-jitter hook, consulted once per packet at transmission start.
+  void set_delay_jitter(DelayJitter jitter) { jitter_ = std::move(jitter); }
 
   BitsPerSec rate() const { return rate_; }
   SimTime prop_delay() const { return prop_delay_; }
@@ -71,6 +82,7 @@ class LinkDirection {
   bool busy_ = false;
   std::function<void(PooledPacket)> deliver_;
   FaultFilter fault_;
+  DelayJitter jitter_;
   LinkStats stats_;
 };
 

@@ -33,6 +33,7 @@ constexpr const char* kCodeNames[] = {
     "fault_overload",      // kFaultOverload
     "fault_blackhole",     // kFaultBlackhole
     "fault_corruption",    // kFaultCorruption
+    "cc_state",            // kCcState
 };
 static_assert(std::size(kCodeNames) ==
                   static_cast<std::size_t>(Code::kCodeCount),
@@ -50,6 +51,7 @@ constexpr const char* kCounterNames[] = {
     "frame_drops",        // kFrameDrops
     "udp_loss_gaps",      // kUdpLossGaps
     "sim_events",         // kSimEvents
+    "cc_recovery_enters", // kCcRecoveryEnters
 };
 static_assert(std::size(kCounterNames) ==
                   static_cast<std::size_t>(Counter::kCount),
@@ -69,6 +71,7 @@ Cat cat_of(Code code) {
     case Code::kTcpTimeout:
     case Code::kSackRetransmit:
     case Code::kUdpLossBurst:
+    case Code::kCcState:
       return Cat::kTransport;
     case Code::kRtspRetry:
     case Code::kRtspFallback:

@@ -59,8 +59,10 @@ enum class Code : std::uint16_t {
   kFaultOverload = 12,    // a0 = stall-until usec, a1 = 0
   kFaultBlackhole = 13,   // a0 = link index, a1 = duration usec
   kFaultCorruption = 14,  // a0 = link index, a1 = loss rate in ppm
+  // transport (congestion control)
+  kCcState = 15,  // a0 = old BBR state, a1 = new state (BbrCC::State)
 
-  kCodeCount = 15,
+  kCodeCount = 16,
 };
 
 Cat cat_of(Code code);
@@ -91,8 +93,9 @@ enum class Counter : std::uint16_t {
   kFrameDrops = 8,
   kUdpLossGaps = 9,
   kSimEvents = 10,  // simulator callbacks fired during the play
+  kCcRecoveryEnters = 11,  // fast-recovery episodes entered by the sender
 
-  kCount = 11,
+  kCount = 12,
 };
 
 const char* counter_name(Counter c);

@@ -206,6 +206,22 @@ double RealServerApp::last_session_cwnd_bytes() const {
   return ctx.control->cwnd_bytes();
 }
 
+double RealServerApp::last_session_pacing_bps() const {
+  const auto it = sessions_.find(last_session_id_);
+  if (it == sessions_.end()) return 0.0;
+  const SessionCtx& ctx = *it->second;
+  if (ctx.use_udp || ctx.control == nullptr) return 0.0;
+  return ctx.control->pacing_rate_bps();
+}
+
+int RealServerApp::last_session_cc_state() const {
+  const auto it = sessions_.find(last_session_id_);
+  if (it == sessions_.end()) return 0;
+  const SessionCtx& ctx = *it->second;
+  if (ctx.use_udp || ctx.control == nullptr) return 0;
+  return ctx.control->cc_state();
+}
+
 std::uint64_t RealServerApp::last_session_tcp_retransmits() const {
   const auto it = sessions_.find(last_session_id_);
   if (it == sessions_.end()) return 0;

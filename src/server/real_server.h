@@ -64,6 +64,11 @@ class RealServerApp {
   // 0 (their loss shows up in the per-link drop series instead).
   double last_session_cwnd_bytes() const;
   std::uint64_t last_session_tcp_retransmits() const;
+  // Effective TCP pacing rate (bytes/sec) and congestion-control backend
+  // state (BbrCC::State as an int; 0 for Reno/CUBIC) — telemetry probes,
+  // 0 for UDP sessions like cwnd above.
+  double last_session_pacing_bps() const;
+  int last_session_cc_state() const;
   // Aggregate SureStream switches across all sessions, including finished
   // ones.
   std::uint64_t total_level_switches() const;

@@ -124,6 +124,13 @@ std::uint64_t config_fingerprint(const StudyConfig& config) {
       config.tracer.faults.mean_link_down_sec, "|",
       config.tracer.faults.corruption_probability, "|",
       config.tracer.faults.corruption_loss_rate);
+  // The congestion-control knob postdates the pinned cache format: it joins
+  // the dump only for non-default algorithms, so every existing reno cache
+  // keeps its exact filename and bytes (the study md5 gate depends on it).
+  if (config.tracer.tcp_cc != transport::CcAlgorithm::kReno) {
+    return util::stable_hash(util::str_cat(
+        dump, "|cc=", static_cast<int>(config.tracer.tcp_cc)));
+  }
   return util::stable_hash(dump);
 }
 

@@ -191,9 +191,9 @@ void write_series_csv(const std::string& path,
                       const std::vector<tracer::TraceRecord>& records) {
   stats::CsvWriter csv(path);
   std::vector<std::string> row = {
-      "user_id",    "record_slot", "clip_id",        "server",
-      "t_usec",     "buffer_sec",  "fps",            "bandwidth_kbps",
-      "cwnd_bytes", "retx_per_sec"};
+      "user_id",    "record_slot",  "clip_id",     "server",
+      "t_usec",     "buffer_sec",   "fps",         "bandwidth_kbps",
+      "cwnd_bytes", "retx_per_sec", "pacing_kbps", "cc_state"};
   for (std::size_t l = 0; l < world::PlayPath::kLinkCount; ++l) {
     row.push_back(world::path_link_name(l) + "_occupancy");
     row.push_back(world::path_link_name(l) + "_drops");
@@ -215,6 +215,8 @@ void write_series_csv(const std::string& path,
       row.push_back(util::format_double(s.bandwidth_kbps[i], 6));
       row.push_back(util::format_double(s.cwnd_bytes[i], 6));
       row.push_back(util::format_double(s.retx_per_sec[i], 6));
+      row.push_back(util::format_double(s.pacing_kbps[i], 6));
+      row.push_back(util::format_double(s.cc_state[i], 6));
       for (std::size_t l = 0; l < world::PlayPath::kLinkCount; ++l) {
         if (l < s.links.size() && i < s.links[l].occupancy.size()) {
           row.push_back(util::format_double(s.links[l].occupancy[i], 6));
@@ -246,6 +248,8 @@ std::vector<obs::CounterSeries> chrome_counter_series(
   add("bandwidth_kbps", s.bandwidth_kbps);
   add("cwnd_bytes", s.cwnd_bytes);
   add("retx_per_sec", s.retx_per_sec);
+  add("pacing_kbps", s.pacing_kbps);
+  add("cc_state", s.cc_state);
   for (std::size_t l = 0; l < s.links.size(); ++l) {
     add(world::path_link_name(l) + "_occupancy", s.links[l].occupancy);
     obs::CounterSeries drops;

@@ -72,6 +72,10 @@ void append_series(std::string& out, const PlaySeries& series) {
   append_double_array(out, s.cwnd_bytes);
   out += ",\"retx_per_sec\":";
   append_double_array(out, s.retx_per_sec);
+  out += ",\"pacing_kbps\":";
+  append_double_array(out, s.pacing_kbps);
+  out += ",\"cc_state\":";
+  append_double_array(out, s.cc_state);
   out += ",\"links\":[";
   for (std::size_t l = 0; l < s.links.size(); ++l) {
     if (l != 0) out += ',';

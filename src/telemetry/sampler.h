@@ -22,6 +22,8 @@ struct Probe {
   std::function<std::int64_t()> bytes_received;  // cumulative
   std::function<double()> cwnd_bytes;            // instantaneous
   std::function<std::uint64_t()> tcp_retransmits;  // cumulative
+  std::function<double()> pacing_bps;            // instantaneous
+  std::function<int()> cc_state;                 // instantaneous
   std::function<bool()> finished;  // true stops sampling (play over)
 };
 

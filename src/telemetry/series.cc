@@ -12,6 +12,8 @@ void Series::reset(std::size_t link_count) {
   bandwidth_kbps.clear();
   cwnd_bytes.clear();
   retx_per_sec.clear();
+  pacing_kbps.clear();
+  cc_state.clear();
   links.resize(link_count);
   for (auto& link : links) {
     link.occupancy.clear();
@@ -121,6 +123,11 @@ void PlaySampler::sample_at(SimTime now) {
       probe_.tcp_retransmits ? probe_.tcp_retransmits() : 0;
   out_->retx_per_sec.push_back(
       static_cast<double>(delta_u64(retx, last_retx_)) / interval_sec);
+
+  out_->pacing_kbps.push_back(
+      probe_.pacing_bps ? probe_.pacing_bps() * 8.0 / 1000.0 : 0.0);
+  out_->cc_state.push_back(
+      probe_.cc_state ? static_cast<double>(probe_.cc_state()) : 0.0);
 
   for (std::size_t l = 0; l < link_count_; ++l) {
     auto& col = out_->links[l];

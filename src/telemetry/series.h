@@ -40,6 +40,8 @@ struct Series {
   std::vector<double> bandwidth_kbps;    // application bytes received
   std::vector<double> cwnd_bytes;        // TCP sender cwnd (0 for UDP media)
   std::vector<double> retx_per_sec;      // TCP retransmissions per second
+  std::vector<double> pacing_kbps;       // TCP sender pacing rate (0 UDP)
+  std::vector<double> cc_state;          // CC backend state (BBR phase)
 
   struct LinkSeries {
     std::vector<double> occupancy;       // queue fill fraction, [0, 1]

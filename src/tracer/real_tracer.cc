@@ -120,6 +120,7 @@ TraceRecord RealTracer::run_session(
   server_cfg.sender.adaptive_packet_size = config_.adaptive_packet_size;
   server_cfg.sender.live = config_.live_content;
   server_cfg.tcp.sack_enabled = config_.tcp_sack;
+  server_cfg.tcp.cc = config_.tcp_cc;
   server_cfg.sender.preroll_media_seconds = config_.preroll_media_seconds;
   if (play_faults != nullptr && play_faults->overload_stall_until > 0) {
     server_cfg.response_stall_until = play_faults->overload_stall_until;
@@ -140,6 +141,7 @@ TraceRecord RealTracer::run_session(
       world::reported_bandwidth_for(user.connection);
   player_cfg.watch_duration = config_.watch_duration;
   player_cfg.tcp.sack_enabled = config_.tcp_sack;
+  player_cfg.tcp.cc = config_.tcp_cc;
   player_cfg.udp_blocked = user.udp_blocked;
   player_cfg.prefer_udp = !force_tcp;
   client::RealPlayerApp player(*path.network, path.client_node,
@@ -185,6 +187,8 @@ TraceRecord RealTracer::run_session(
     probe.tcp_retransmits = [&server] {
       return server.last_session_tcp_retransmits();
     };
+    probe.pacing_bps = [&server] { return server.last_session_pacing_bps(); };
+    probe.cc_state = [&server] { return server.last_session_cc_state(); };
     probe.finished = [&player] { return player.finished(); };
     sampler.emplace(sim, path.network.get(), world::PlayPath::kLinkCount,
                     std::move(probe), &ctx.series, config_.telemetry.interval);

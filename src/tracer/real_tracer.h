@@ -13,6 +13,7 @@
 #include "server/real_server.h"
 #include "telemetry/series.h"
 #include "tracer/play_plan.h"
+#include "transport/congestion_control.h"
 #include "tracer/record.h"
 #include "world/path_builder.h"
 #include "world/region_graph.h"
@@ -38,6 +39,10 @@ struct TracerConfig {
   bool live_content = false;
   // RFC 2018 SACK on both TCP endpoints (ablation; 2001 stacks were mixed).
   bool tcp_sack = false;
+  // TCP congestion-control backend on both endpoints (--cc reno|cubic|bbr).
+  // kReno is the paper-era default and keeps the pinned cache bytes; the
+  // others re-run the TCP comparisons under modern congestion control.
+  transport::CcAlgorithm tcp_cc = transport::CcAlgorithm::kReno;
   double preroll_media_seconds = 8.0;
   // Deterministic fault injection (outage schedules, overload stalls, link
   // faults). Off by default: the legacy Bernoulli availability model runs.

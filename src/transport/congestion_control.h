@@ -1,0 +1,257 @@
+// Pluggable congestion control for the simulated TCP sender.
+//
+// TcpConnection owns the connection machinery (sequencing, SACK scoreboard,
+// retransmission, RTO timers) and forwards congestion-relevant events to a
+// CongestionControl object, which owns the window: cwnd, ssthresh and an
+// optional pacing-rate hint. Three backends:
+//
+//  - RenoCC:  verbatim extraction of the historical inline NewReno logic.
+//    Every arithmetic expression and its evaluation order is preserved, so a
+//    study run with the Reno backend is byte-identical to the pre-refactor
+//    code (pinned by the study-cache md5 gate and tcp_differential_test).
+//  - CubicCC: RFC 8312. Window growth follows the cubic curve
+//    W(t) = C*(t-K)^3 + W_max anchored at the last loss event, with the
+//    TCP-friendly region (never below the Reno-equivalent estimate) and
+//    fast convergence on consecutive losses.
+//  - BbrCC:   model-based, after BBRv1. Windowed max-bandwidth and min-RTT
+//    filters feed a BDP estimate; a startup/drain/probe-bw/probe-rtt state
+//    machine driven off the sim clock sets cwnd and pacing gains. Loss does
+//    not collapse the model: recovery episodes leave cwnd at the BDP target,
+//    which is what produces BBR's measured robustness under random loss.
+//
+// The interface is transport-agnostic on purpose (events in, window out) so
+// a later QUIC-flavored stream transport can reuse the backends unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/units.h"
+
+namespace rv::transport {
+
+enum class CcAlgorithm : std::uint8_t {
+  kReno = 0,
+  kCubic = 1,
+  kBbr = 2,
+};
+
+// Strict parser for the --cc flag: exact lowercase names only.
+std::optional<CcAlgorithm> parse_cc_algorithm(std::string_view text);
+const char* cc_algorithm_name(CcAlgorithm algorithm);
+
+// One cumulative ACK that advanced snd_una, as seen by the sender.
+struct CcAck {
+  SimTime now = 0;
+  std::int64_t newly_acked = 0;   // bytes this ACK newly covered
+  std::uint64_t snd_una = 0;      // after the advance
+  std::uint64_t snd_nxt = 0;
+  std::int64_t flight = 0;        // snd_nxt - snd_una after the advance
+  bool in_recovery = false;       // recovery state when the ACK arrived
+};
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  // A cumulative ACK advanced snd_una (fires for every such ACK, including
+  // those that end or fall inside fast recovery — ack.in_recovery tells the
+  // backend whether loss-based growth is suppressed).
+  virtual void on_ack(const CcAck& ack) = 0;
+  // A valid RTT sample (Karn-filtered by the caller).
+  virtual void on_rtt_sample(double rtt_sec, SimTime now) = 0;
+  // A delivery-rate sample: bytes cumulatively acked between a segment's
+  // send and its ACK, divided by that interval (BBR-style, anchored at
+  // send time so recovery catch-up ACKs cannot inflate it; Karn-filtered
+  // like on_rtt_sample). `app_limited` marks samples taken while the
+  // sender had no backlog — they measure the application, not the path.
+  // `delivered_at_send` / `delivered_now` are the connection's cumulative
+  // delivered-byte counter at the segment's send and at this sample: they
+  // carry BBR's packet-timed round clock, which keeps counting real data
+  // round trips even when snd_nxt runs far ahead of delivery.
+  virtual void on_delivery_rate_sample(double /*bytes_per_sec*/,
+                                       bool /*app_limited*/,
+                                       std::uint64_t /*delivered_at_send*/,
+                                       std::uint64_t /*delivered_now*/,
+                                       SimTime /*now*/) {}
+  // Third duplicate ACK: the connection enters fast recovery. `flight` is
+  // the in-flight byte count at detection time.
+  virtual void on_recovery_enter(std::int64_t flight, SimTime now) = 0;
+  // A full ACK covered the recovery point; recovery is over.
+  virtual void on_recovery_exit(SimTime now) = 0;
+  // Retransmission timeout: everything in flight is presumed lost.
+  virtual void on_rto(std::int64_t flight, SimTime now) = 0;
+
+  // Current congestion window / slow-start threshold in bytes.
+  virtual double cwnd() const = 0;
+  virtual double ssthresh() const = 0;
+  // Pacing hint in bytes/sec. <= 0 means "no opinion": the connection falls
+  // back to its historical cwnd-per-srtt pacing (keeps Reno byte-identical).
+  virtual double pacing_rate(double /*srtt_sec*/) const { return 0.0; }
+  // Small integer describing the backend's internal state (BBR phase; 0 for
+  // window-based backends). Exported as a telemetry column.
+  virtual int state_code() const { return 0; }
+  virtual const char* name() const = 0;
+};
+
+// --- Reno -----------------------------------------------------------------
+
+class RenoCC : public CongestionControl {
+ public:
+  RenoCC(std::int32_t mss, std::int32_t initial_cwnd_segments,
+         std::int64_t initial_ssthresh);
+
+  void on_ack(const CcAck& ack) override;
+  void on_rtt_sample(double /*rtt_sec*/, SimTime /*now*/) override {}
+  void on_recovery_enter(std::int64_t flight, SimTime now) override;
+  void on_recovery_exit(SimTime now) override;
+  void on_rto(std::int64_t flight, SimTime now) override;
+
+  double cwnd() const override { return cwnd_; }
+  double ssthresh() const override { return ssthresh_; }
+  const char* name() const override { return "reno"; }
+
+ private:
+  const std::int32_t mss_;
+  double cwnd_ = 0.0;
+  double ssthresh_ = 1e12;
+};
+
+// --- CUBIC (RFC 8312) -----------------------------------------------------
+
+class CubicCC : public CongestionControl {
+ public:
+  CubicCC(std::int32_t mss, std::int32_t initial_cwnd_segments,
+          std::int64_t initial_ssthresh);
+
+  void on_ack(const CcAck& ack) override;
+  void on_rtt_sample(double rtt_sec, SimTime now) override;
+  void on_recovery_enter(std::int64_t flight, SimTime now) override;
+  void on_recovery_exit(SimTime now) override;
+  void on_rto(std::int64_t flight, SimTime now) override;
+
+  double cwnd() const override { return cwnd_; }
+  double ssthresh() const override { return ssthresh_; }
+  const char* name() const override { return "cubic"; }
+
+  // RFC 8312 constants, exposed for the closed-form property tests.
+  static constexpr double kC = 0.4;       // cubic scaling (segments/sec^3)
+  static constexpr double kBeta = 0.7;    // multiplicative decrease factor
+  double w_max_segments() const { return w_max_; }
+  double k_seconds() const { return k_; }
+  // Closed-form curve and TCP-friendly estimate (in segments) at elapsed
+  // time t since the current epoch started.
+  double w_cubic(double t_sec) const;
+  double w_est(double t_sec) const;
+
+ private:
+  void on_loss_event(SimTime now);
+  void start_epoch(SimTime now);
+
+  const std::int32_t mss_;
+  double cwnd_ = 0.0;
+  double ssthresh_ = 1e12;
+  double srtt_sec_ = 0.0;      // latest smoothed-ish sample for w_est
+  double w_max_ = 0.0;         // segments at the last loss event
+  double k_ = 0.0;             // seconds from epoch start to the plateau
+  SimTime epoch_start_ = -1;   // -1: no congestion-avoidance epoch active
+};
+
+// --- BBR (model-based, after BBRv1) ---------------------------------------
+
+class BbrCC : public CongestionControl {
+ public:
+  enum class State : std::uint8_t {
+    kStartup = 0,
+    kDrain = 1,
+    kProbeBw = 2,
+    kProbeRtt = 3,
+  };
+
+  BbrCC(std::int32_t mss, std::int32_t initial_cwnd_segments);
+
+  void on_ack(const CcAck& ack) override;
+  void on_rtt_sample(double rtt_sec, SimTime now) override;
+  void on_delivery_rate_sample(double bytes_per_sec, bool app_limited,
+                               std::uint64_t delivered_at_send,
+                               std::uint64_t delivered_now,
+                               SimTime now) override;
+  void on_recovery_enter(std::int64_t flight, SimTime now) override;
+  void on_recovery_exit(SimTime now) override;
+  void on_rto(std::int64_t flight, SimTime now) override;
+
+  double cwnd() const override { return cwnd_; }
+  double ssthresh() const override { return ssthresh_; }
+  double pacing_rate(double srtt_sec) const override;
+  int state_code() const override { return static_cast<int>(state_); }
+  const char* name() const override { return "bbr"; }
+
+  // Introspection for the state-machine property tests.
+  State state() const { return state_; }
+  double pacing_gain() const { return pacing_gain_; }
+  double max_bw_bytes_per_sec() const { return max_bw(); }
+  double min_rtt_sec() const { return min_rtt_sec_; }
+  bool filled_pipe() const { return filled_pipe_; }
+  double bdp_bytes() const;
+
+  static constexpr double kHighGain = 2.885;  // 2/ln(2): startup gain
+  static constexpr int kGainCycleLen = 8;
+  static constexpr SimTime kMinRttWindow = sec(10);
+  static constexpr SimTime kProbeRttDuration = msec(200);
+  static constexpr int kBwWindowRounds = 10;
+
+ private:
+  double max_bw() const;
+  void check_full_pipe();
+  void update_state(const CcAck& ack);
+  void update_gains();
+  void update_cwnd(const CcAck& ack);
+  void set_state(State next, SimTime now);
+
+  const std::int32_t mss_;
+  double cwnd_ = 0.0;
+  double ssthresh_ = 1e12;  // BBR ignores it; kept for telemetry symmetry
+
+  State state_ = State::kStartup;
+  double pacing_gain_ = kHighGain;
+  double cwnd_gain_ = kHighGain;
+
+  // Packet-timed round trips (BBR's delivered-counter clock): a round ends
+  // when a sample's segment was sent at or after the delivered level marked
+  // when the current round opened. Rounds therefore advance only while data
+  // is actually being delivered and sampled — sequence bloat during deep
+  // recovery cannot stretch them, and Karn-gated droughts cannot age the
+  // bandwidth filter through silence.
+  std::uint64_t next_round_delivered_ = 0;
+  std::uint64_t round_count_ = 0;
+
+  // Windowed max filter over per-ACK delivery-rate samples, aged by round:
+  // slot r%N holds the best sample seen during round r (bytes/sec).
+  double bw_window_[kBwWindowRounds] = {};
+  double min_rtt_sec_ = 0.0;
+  SimTime min_rtt_stamp_ = 0;
+  bool have_min_rtt_ = false;
+
+  // Startup full-pipe detection: bandwidth plateau over 3 rounds.
+  double full_bw_ = 0.0;
+  int full_bw_count_ = 0;
+  bool filled_pipe_ = false;
+
+  // probe-bw pacing-gain cycle.
+  int cycle_index_ = 0;
+  SimTime cycle_stamp_ = 0;
+
+  // probe-rtt bookkeeping.
+  SimTime probe_rtt_done_ = 0;
+  double prior_cwnd_ = 0.0;
+};
+
+// Builds the backend selected by `algorithm`.
+std::unique_ptr<CongestionControl> make_congestion_control(
+    CcAlgorithm algorithm, std::int32_t mss,
+    std::int32_t initial_cwnd_segments, std::int64_t initial_ssthresh);
+
+}  // namespace rv::transport

@@ -1,10 +1,11 @@
-// TCP Reno over the simulated network.
+// TCP over the simulated network.
 //
 // Full-duplex byte-stream connection with:
 //  - three-way handshake (SYN / SYN-ACK / ACK) with retry timers
 //  - MSS segmentation, cumulative ACKs, out-of-order reassembly
-//  - slow start, congestion avoidance, 3-dupACK fast retransmit and NewReno
-//    fast recovery with partial-ACK retransmission
+//  - 3-dupACK fast retransmit and NewReno fast recovery with partial-ACK
+//    retransmission; the congestion window itself is owned by a pluggable
+//    CongestionControl backend (Reno / CUBIC / BBR, congestion_control.h)
 //  - Jacobson/Karn RTT estimation and exponential RTO backoff
 //  - receiver-advertised-window flow control
 //  - FIN-based close
@@ -16,12 +17,15 @@
 // the chunk's final byte.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "net/packet.h"
+#include "transport/congestion_control.h"
 #include "transport/mux.h"
 #include "util/units.h"
 
@@ -48,6 +52,10 @@ struct TcpConfig {
   // every hole, one per ACK, instead of NewReno's one-hole-per-RTT). Off by
   // default: the study models RealSystem-era stacks conservatively.
   bool sack_enabled = false;
+  // Congestion-control backend (see congestion_control.h). kReno reproduces
+  // the historical inline NewReno logic byte-for-byte and is the study
+  // default; kCubic / kBbr re-run the paper's comparisons under modern CC.
+  CcAlgorithm cc = CcAlgorithm::kReno;
 };
 
 struct TcpStats {
@@ -58,6 +66,7 @@ struct TcpStats {
   std::uint64_t bytes_acked = 0;      // sender side
   std::uint64_t bytes_delivered = 0;  // receiver side, in-order app bytes
   std::uint64_t chunks_delivered = 0;
+  std::uint64_t recovery_enters = 0;  // fast-recovery episodes entered
 };
 
 class TcpConnection : public PacketSink {
@@ -101,7 +110,20 @@ class TcpConnection : public PacketSink {
     return static_cast<std::int64_t>(app_write_offset_ - snd_una_);
   }
   double smoothed_rtt_seconds() const { return srtt_sec_; }
-  double cwnd_bytes() const { return cwnd_; }
+  double cwnd_bytes() const { return cc_->cwnd(); }
+  double ssthresh_bytes() const { return cc_->ssthresh(); }
+  // Effective pacing rate in bytes/sec: the backend's hint when it has one,
+  // else the historical cwnd-per-srtt rate the burst pacer uses.
+  double pacing_rate_bps() const {
+    const double hint = cc_->pacing_rate(srtt_sec_);
+    return hint > 0.0 ? hint : cc_->cwnd() / std::max(srtt_sec_, 0.010);
+  }
+  // Backend state as a small integer (BbrCC::State; 0 for Reno/CUBIC).
+  int cc_state() const { return cc_->state_code(); }
+  const char* cc_name() const { return cc_->name(); }
+  std::int64_t flight_bytes() const { return flight_size(); }
+  bool in_fast_recovery() const { return in_recovery_; }
+  SimTime current_rto() const { return rto_; }
   const TcpStats& stats() const { return stats_; }
   net::Endpoint local_endpoint() const { return {mux_.node_id(), local_port_}; }
   net::Endpoint remote_endpoint() const { return remote_; }
@@ -124,10 +146,15 @@ class TcpConnection : public PacketSink {
   struct Segment {
     std::int32_t len = 0;
     SimTime sent_at = 0;
+    // Connection-wide delivered_bytes_ when first sent: anchors BBR-style
+    // delivery-rate samples (delivered-since-send over time-since-send) so
+    // recovery catch-up ACKs cannot fabricate bandwidth.
+    std::uint64_t delivered_at_send = 0;
     bool retransmitted = false;
     bool fin = false;
     bool sacked = false;            // SACK scoreboard
     bool retx_this_recovery = false;
+    bool app_limited = false;       // send drained the app backlog
   };
 
   // Passive-open construction used by TcpListener.
@@ -153,11 +180,29 @@ class TcpConnection : public PacketSink {
   // SACK pipe estimate and hole retransmission during recovery.
   std::int64_t sack_pipe() const;
   bool retransmit_next_sack_hole();
+  void rescue_lost_retransmission();
+  // RFC 6675 DupThresh-style reordering margin: a segment is deemed lost
+  // only once the SACK frontier is this many bytes past its end.
+  std::uint64_t sack_reorder_margin() const {
+    return 2 * static_cast<std::uint64_t>(config_.mss);
+  }
   void sack_recovery_send();
   void on_rto();
   void arm_rto();
   void disarm_rto();
-  void update_rtt(SimTime sample);
+  // Feeds the Jacobson/Karn estimator (always) and the congestion-control
+  // backend (only when `feed_cc`: samples re-measured after an RTO go-back
+  // are ambiguous — an ACK elicited by a pre-timeout copy still in flight
+  // can look like a ~one-way-delay RTT and would poison a model-based
+  // backend's min-RTT filter for a full window).
+  void update_rtt(SimTime sample, bool feed_cc);
+  // Feeds the backend one delivery-rate sample for a segment the receiver
+  // just reported (cumulative ACK or first SACK): delivered-since-send over
+  // time-since-send. Skips retransmitted segments (ambiguous send time) and
+  // Karn-ambiguous sequence ranges. Sampling at SACK time keeps the bw
+  // filter fed through recovery episodes, which is what lets a model-based
+  // backend hold its estimate while loss recovery is in progress.
+  void sample_delivery_rate(const Segment& seg, std::uint64_t seg_end);
   std::int64_t flight_size() const {
     return static_cast<std::int64_t>(snd_nxt_ - snd_una_);
   }
@@ -177,12 +222,20 @@ class TcpConnection : public PacketSink {
   std::map<std::uint64_t, Segment> unacked_;           // seq -> segment
   std::map<std::uint64_t, std::shared_ptr<const net::PayloadMeta>>
       outgoing_chunks_;                                // end offset -> meta
-  double cwnd_ = 0.0;
-  double ssthresh_ = 1e12;
+  std::unique_ptr<CongestionControl> cc_;              // owns cwnd/ssthresh
   std::int64_t peer_window_ = 64 * 1024;
   int dup_acks_ = 0;
   bool in_recovery_ = false;
   std::uint64_t recovery_point_ = 0;
+  // Bytes below this were in flight at an RTO go-back; their re-sends carry
+  // Karn-ambiguous timing (see update_rtt).
+  std::uint64_t karn_ambiguous_until_ = 0;
+  // Bytes known to have reached the receiver: cumulative ACK advances plus
+  // bytes first reported via SACK. Unlike bytes_acked this grows smoothly
+  // through a recovery episode — a healing cumulative jump releases bytes
+  // that were already credited when SACKed — which is what makes it the
+  // right numerator for delivery-rate samples.
+  std::uint64_t delivered_bytes_ = 0;
   std::uint64_t highest_sacked_ = 0;  // SACK/FACK frontier
   bool fin_pending_ = false;
   bool fin_sent_ = false;
@@ -201,6 +254,10 @@ class TcpConnection : public PacketSink {
   std::map<std::uint64_t, std::shared_ptr<const net::PayloadMeta>>
       pending_chunks_;                                  // end offset -> meta
   std::uint64_t last_chunk_delivered_end_ = 0;
+  // Recent out-of-order arrivals, most recent first (RFC 2018 recency rule:
+  // the SACK option leads with the block containing the newest segment and
+  // repeats the most recently reported blocks — see send_pure_ack).
+  std::vector<std::uint64_t> recent_oob_seqs_;
   bool peer_fin_received_ = false;
 
   // --- handshake ---

@@ -13,6 +13,7 @@
 
 #include "study/cache.h"
 #include "study/study.h"
+#include "transport/congestion_control.h"
 
 namespace rv::study {
 namespace {
@@ -67,6 +68,22 @@ TEST(Determinism, RepeatedRunsAreByteIdentical) {
   const auto second = run_study(config);
   ASSERT_EQ(first.records.size(), second.records.size());
   EXPECT_EQ(serialize(config, first), serialize(config, second));
+}
+
+TEST(Determinism, ThreadCountInvariantAcrossCcBackends) {
+  // The worker pool must not perturb results for any congestion-control
+  // backend. Reno is the default covered above; CUBIC's clock-anchored
+  // cubic curve and BBR's windowed filters are the interesting cases —
+  // both are pure functions of per-play sim time, never wall clock or
+  // worker identity.
+  for (const auto cc :
+       {transport::CcAlgorithm::kCubic, transport::CcAlgorithm::kBbr}) {
+    SCOPED_TRACE(transport::cc_algorithm_name(cc));
+    StudyConfig config;
+    config.play_scale = 0.02;
+    config.tracer.tcp_cc = cc;
+    expect_thread_invariant(config);
+  }
 }
 
 TEST(Determinism, ThreadCountInvariantWithFaultInjection) {

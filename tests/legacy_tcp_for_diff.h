@@ -1,14 +1,248 @@
-#include "transport/tcp.h"
+// Verbatim copy of the pre-CongestionControl-refactor TCP implementation
+// (src/transport/tcp.{h,cc} as of the parallel-study PR), kept as the
+// reference side of the differential test: RenoCC-via-interface must
+// reproduce this code byte-for-byte in behavior. Single-TU header —
+// included only by tcp_differential_test.cc.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+#include "transport/mux.h"
+#include "util/units.h"
+
+namespace rv::transport::legacy {
+
+struct TcpConfig {
+  std::int32_t mss = 1000;                    // max payload per segment
+  std::int64_t recv_window = 256 * 1024;      // advertised window (bytes)
+  std::int32_t initial_cwnd_segments = 2;
+  // Cap on the slow-start phase (RFC 2581 allows an arbitrary initial
+  // ssthresh; 64 KB is what most 2001-era stacks used). Prevents a massive
+  // burst-loss overshoot on the first bandwidth probe.
+  std::int64_t initial_ssthresh = 64 * 1024;
+  SimTime min_rto = msec(200);
+  SimTime initial_rto = sec(3);
+  SimTime max_rto = sec(60);
+  // Max segments emitted back-to-back per send opportunity; a window
+  // opening wider than this is drained via short pacing timers instead of
+  // one line-rate burst (NS-2 Reno's "maxburst", prevents post-recovery
+  // bursts from overflowing small queues).
+  int max_burst_segments = 6;
+  // RFC 2018 selective acknowledgements: the receiver reports out-of-order
+  // blocks and the sender runs scoreboard-based loss recovery (retransmits
+  // every hole, one per ACK, instead of NewReno's one-hole-per-RTT). Off by
+  // default: the study models RealSystem-era stacks conservatively.
+  bool sack_enabled = false;
+};
+
+struct TcpStats {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t bytes_acked = 0;      // sender side
+  std::uint64_t bytes_delivered = 0;  // receiver side, in-order app bytes
+  std::uint64_t chunks_delivered = 0;
+};
+
+class TcpConnection : public PacketSink {
+ public:
+  using ChunkCallback =
+      std::function<void(std::shared_ptr<const net::PayloadMeta>,
+                         std::int64_t chunk_bytes)>;
+
+  TcpConnection(TransportMux& mux, TcpConfig config);
+  ~TcpConnection() override;
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  // Active open: binds an ephemeral local port and starts the handshake.
+  void connect(net::Endpoint remote);
+
+  void set_on_established(std::function<void()> cb) {
+    on_established_ = std::move(cb);
+  }
+  void set_on_chunk(ChunkCallback cb) { on_chunk_ = std::move(cb); }
+  void set_on_closed(std::function<void()> cb) { on_closed_ = std::move(cb); }
+
+  // Queues an application chunk of `bytes` (sent as soon as the window
+  // allows). `meta` is delivered to the peer with the chunk.
+  void send_chunk(std::int64_t bytes,
+                  std::shared_ptr<const net::PayloadMeta> meta);
+
+  // Graceful close: FIN is sent after all queued data.
+  void close();
+
+  bool established() const { return state_ == State::kEstablished; }
+  bool closed() const { return state_ == State::kClosed; }
+  // True once a close is underway (FIN pending/sent) or done: writes are no
+  // longer legal even though the state may still read as established.
+  bool closing() const {
+    return fin_pending_ || fin_sent_ || state_ == State::kClosed;
+  }
+  // Application bytes accepted but not yet cumulatively acknowledged.
+  std::int64_t backlog_bytes() const {
+    return static_cast<std::int64_t>(app_write_offset_ - snd_una_);
+  }
+  double smoothed_rtt_seconds() const { return srtt_sec_; }
+  double cwnd_bytes() const { return cwnd_; }
+  const TcpStats& stats() const { return stats_; }
+  net::Endpoint local_endpoint() const { return {mux_.node_id(), local_port_}; }
+  net::Endpoint remote_endpoint() const { return remote_; }
+
+  // PacketSink:
+  void on_packet(net::Packet packet) override;
+
+ private:
+  friend class TcpListener;
+
+  enum class State {
+    kIdle,
+    kSynSent,
+    kSynReceived,
+    kEstablished,
+    kFinWait,    // our FIN sent, awaiting its ACK
+    kClosed,
+  };
+
+  struct Segment {
+    std::int32_t len = 0;
+    SimTime sent_at = 0;
+    bool retransmitted = false;
+    bool fin = false;
+    bool sacked = false;            // SACK scoreboard
+    bool retx_this_recovery = false;
+  };
+
+  // Passive-open construction used by TcpListener.
+  void accept_from(net::Port local_port, net::Endpoint remote,
+                   const net::TcpHeader& syn);
+
+  void send_segment(std::uint64_t seq, const Segment& seg, bool is_retx);
+  void send_control(bool syn, bool fin_unused = false);
+  void send_pure_ack();
+  void try_send();
+  void maybe_send_fin();
+
+  void retry_syn();
+  void handle_handshake(const net::Packet& packet);
+  void handle_ack(const net::Packet& packet);
+  void handle_data(const net::Packet& packet);
+
+  void enter_established();
+  // Every state change funnels through here so the transition lands in the
+  // play's trace (obs::Code::kTcpState).
+  void set_state(State next);
+  void apply_sack_blocks(const net::TcpHeader& header);
+  // SACK pipe estimate and hole retransmission during recovery.
+  std::int64_t sack_pipe() const;
+  bool retransmit_next_sack_hole();
+  void rescue_lost_retransmission();
+  std::uint64_t sack_reorder_margin() const {
+    return 2 * static_cast<std::uint64_t>(config_.mss);
+  }
+  void sack_recovery_send();
+  void on_rto();
+  void arm_rto();
+  void disarm_rto();
+  void update_rtt(SimTime sample);
+  std::int64_t flight_size() const {
+    return static_cast<std::int64_t>(snd_nxt_ - snd_una_);
+  }
+  void finish_close();
+
+  TransportMux& mux_;
+  TcpConfig config_;
+  State state_ = State::kIdle;
+  net::Port local_port_ = 0;
+  net::Endpoint remote_;
+  bool bound_connected_ = false;
+
+  // --- sender ---
+  std::uint64_t snd_una_ = 0;
+  std::uint64_t snd_nxt_ = 0;
+  std::uint64_t app_write_offset_ = 0;
+  std::map<std::uint64_t, Segment> unacked_;           // seq -> segment
+  std::map<std::uint64_t, std::shared_ptr<const net::PayloadMeta>>
+      outgoing_chunks_;                                // end offset -> meta
+  double cwnd_ = 0.0;
+  double ssthresh_ = 1e12;
+  std::int64_t peer_window_ = 64 * 1024;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recovery_point_ = 0;
+  std::uint64_t highest_sacked_ = 0;  // SACK/FACK frontier
+  bool fin_pending_ = false;
+  bool fin_sent_ = false;
+
+  // --- RTT / RTO ---
+  double srtt_sec_ = 0.0;
+  double rttvar_sec_ = 0.0;
+  bool have_rtt_ = false;
+  SimTime rto_ = 0;
+  sim::EventId rto_event_ = sim::kInvalidEventId;
+  sim::EventId pacing_event_ = sim::kInvalidEventId;
+
+  // --- receiver ---
+  std::uint64_t rcv_nxt_ = 0;
+  std::map<std::uint64_t, std::int32_t> out_of_order_;  // seq -> len
+  std::vector<std::uint64_t> recent_oob_seqs_;  // RFC 2018 recency, newest first
+  std::map<std::uint64_t, std::shared_ptr<const net::PayloadMeta>>
+      pending_chunks_;                                  // end offset -> meta
+  std::uint64_t last_chunk_delivered_end_ = 0;
+  bool peer_fin_received_ = false;
+
+  // --- handshake ---
+  sim::EventId handshake_event_ = sim::kInvalidEventId;
+  int handshake_tries_ = 0;
+
+  TcpStats stats_;
+  std::function<void()> on_established_;
+  ChunkCallback on_chunk_;
+  std::function<void()> on_closed_;
+};
+
+// Accepts incoming connections on a local port; one TcpConnection is created
+// per remote endpoint's SYN.
+class TcpListener : public PacketSink {
+ public:
+  using AcceptCallback =
+      std::function<void(std::unique_ptr<TcpConnection>)>;
+
+  TcpListener(TransportMux& mux, net::Port port, TcpConfig config,
+              AcceptCallback on_accept);
+  ~TcpListener() override;
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  void on_packet(net::Packet packet) override;
+
+ private:
+  TransportMux& mux_;
+  net::Port port_;
+  TcpConfig config_;
+  AcceptCallback on_accept_;
+};
+
+}  // namespace rv::transport::legacy
+
 
 #include <algorithm>
 #include <utility>
-#include <vector>
 
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 
-namespace rv::transport {
+namespace rv::transport::legacy {
 namespace {
 
 constexpr int kMaxHandshakeTries = 6;
@@ -18,9 +252,9 @@ constexpr int kMaxHandshakeTries = 6;
 TcpConnection::TcpConnection(TransportMux& mux, TcpConfig config)
     : mux_(mux), config_(config) {
   RV_CHECK_GT(config_.mss, 0);
-  cc_ = make_congestion_control(config_.cc, config_.mss,
-                                config_.initial_cwnd_segments,
-                                config_.initial_ssthresh);
+  cwnd_ = static_cast<double>(config_.initial_cwnd_segments) *
+          static_cast<double>(config_.mss);
+  ssthresh_ = static_cast<double>(config_.initial_ssthresh);
   rto_ = config_.initial_rto;
 }
 
@@ -172,8 +406,6 @@ void TcpConnection::maybe_send_fin() {
   seg.len = 0;
   seg.fin = true;
   seg.sent_at = mux_.simulator().now();
-  seg.delivered_at_send = delivered_bytes_;
-  seg.app_limited = true;  // a FIN only goes out once the backlog drained
   const std::uint64_t seq = snd_nxt_;
   snd_nxt_ += 1;
   unacked_[seq] = seg;
@@ -228,7 +460,7 @@ void TcpConnection::send_segment(std::uint64_t seq, const Segment& seg,
 void TcpConnection::try_send() {
   if (state_ != State::kEstablished && state_ != State::kFinWait) return;
   const auto window = static_cast<std::int64_t>(
-      std::min(cc_->cwnd(), static_cast<double>(peer_window_)));
+      std::min(cwnd_, static_cast<double>(peer_window_)));
   // No new data during fast recovery: retransmitted holes plus the data
   // already in flight fill the pipe; adding more while the bottleneck queue
   // is shedding load compounds the loss epoch. (More conservative than
@@ -248,24 +480,19 @@ void TcpConnection::try_send() {
     Segment seg;
     seg.len = len;
     seg.sent_at = mux_.simulator().now();
-    seg.delivered_at_send = delivered_bytes_;
     const std::uint64_t seq = snd_nxt_;
-    snd_nxt_ += static_cast<std::uint64_t>(len);
-    seg.app_limited = snd_nxt_ >= app_write_offset_;
     unacked_[seq] = seg;
+    snd_nxt_ += static_cast<std::uint64_t>(len);
     send_segment(seq, seg, /*is_retx=*/false);
     ++emitted;
   }
   if (emitted == config_.max_burst_segments &&
       snd_nxt_ < app_write_offset_ && flight_size() < window &&
       pacing_event_ == sim::kInvalidEventId) {
-    // More window available than the burst cap: pace the rest out at the
-    // backend's rate hint when it has one (BBR), else at roughly the flow's
-    // current rate (cwnd per srtt — the historical Reno behavior).
-    const double hint = cc_->pacing_rate(srtt_sec_);
-    const double rate = hint > 0.0
-        ? hint
-        : cc_->cwnd() / std::max(srtt_sec_, 0.010);  // bytes per second
+    // More window available than the burst cap: pace the rest out at
+    // roughly the flow's current rate (cwnd per srtt).
+    const double rate =
+        cwnd_ / std::max(srtt_sec_, 0.010);  // bytes per second
     const auto delay = std::max<SimTime>(
         msec(1), seconds_to_sim(static_cast<double>(config_.mss) *
                                 config_.max_burst_segments / rate));
@@ -352,12 +579,7 @@ void TcpConnection::apply_sack_blocks(const net::TcpHeader& header) {
           it->first + static_cast<std::uint64_t>(it->second.len) +
           (it->second.fin ? 1 : 0);
       if (seg_end > end) break;
-      if (!it->second.sacked) {
-        it->second.sacked = true;
-        delivered_bytes_ += static_cast<std::uint64_t>(it->second.len);
-        // First SACK of this segment is the receiver reporting its arrival.
-        sample_delivery_rate(it->second, seg_end);
-      }
+      it->second.sacked = true;
     }
     highest_sacked_ = std::max(highest_sacked_, end);
   }
@@ -419,7 +641,7 @@ bool TcpConnection::retransmit_next_sack_hole() {
 
 void TcpConnection::sack_recovery_send() {
   const auto window = static_cast<std::int64_t>(
-      std::min(cc_->cwnd(), static_cast<double>(peer_window_)));
+      std::min(cwnd_, static_cast<double>(peer_window_)));
   for (int guard = 0; guard < config_.max_burst_segments; ++guard) {
     if (sack_pipe() >= window) return;
     if (retransmit_next_sack_hole()) continue;
@@ -436,12 +658,10 @@ void TcpConnection::sack_recovery_send() {
     Segment seg;
     seg.len = len;
     seg.sent_at = mux_.simulator().now();
-    seg.delivered_at_send = delivered_bytes_;
     seg.retx_this_recovery = true;  // counts into the pipe immediately
     const std::uint64_t seq = snd_nxt_;
-    snd_nxt_ += static_cast<std::uint64_t>(len);
-    seg.app_limited = snd_nxt_ >= app_write_offset_;
     unacked_[seq] = seg;
+    snd_nxt_ += static_cast<std::uint64_t>(len);
     send_segment(seq, seg, /*is_retx=*/false);
   }
 }
@@ -463,14 +683,8 @@ void TcpConnection::handle_ack(const net::Packet& packet) {
           it->first + static_cast<std::uint64_t>(it->second.len) +
           (it->second.fin ? 1 : 0);
       if (seg_end > ack) break;
-      if (!it->second.sacked) {
-        delivered_bytes_ += static_cast<std::uint64_t>(it->second.len);
-        sample_delivery_rate(it->second, seg_end);
-      }
       if (seg_end == ack && !it->second.retransmitted && !in_recovery_) {
-        const SimTime interval = mux_.simulator().now() - it->second.sent_at;
-        const bool karn_safe = seg_end > karn_ambiguous_until_;
-        update_rtt(interval, /*feed_cc=*/karn_safe);
+        update_rtt(mux_.simulator().now() - it->second.sent_at);
       }
       unacked_.erase(it);
     }
@@ -480,23 +694,10 @@ void TcpConnection::handle_ack(const net::Packet& packet) {
     snd_una_ = ack;
     dup_acks_ = 0;
 
-    // Every snd_una advance reaches the backend (model-based CC accounts
-    // delivery even during recovery); window growth while recovering is the
-    // backend's call — Reno/CUBIC hold at ssthresh, per the historical code.
-    const bool was_in_recovery = in_recovery_;
-    CcAck cc_ack;
-    cc_ack.now = mux_.simulator().now();
-    cc_ack.newly_acked = static_cast<std::int64_t>(newly_acked);
-    cc_ack.snd_una = snd_una_;
-    cc_ack.snd_nxt = snd_nxt_;
-    cc_ack.flight = flight_size();
-    cc_ack.in_recovery = was_in_recovery;
-    cc_->on_ack(cc_ack);
-
-    if (was_in_recovery) {
+    if (in_recovery_) {
       if (ack >= recovery_point_) {
         in_recovery_ = false;
-        cc_->on_recovery_exit(cc_ack.now);
+        cwnd_ = ssthresh_;
         for (auto& [_, seg] : unacked_) seg.retx_this_recovery = false;
       } else if (config_.sack_enabled) {
         // SACK recovery: the scoreboard decides what to (re)send.
@@ -512,6 +713,15 @@ void TcpConnection::handle_ack(const net::Packet& packet) {
           send_segment(it->first, it->second, /*is_retx=*/true);
         }
       }
+    } else if (cwnd_ < ssthresh_) {
+      // Slow start: one MSS per MSS acked.
+      cwnd_ += static_cast<double>(
+          std::min<std::uint64_t>(newly_acked,
+                                  static_cast<std::uint64_t>(config_.mss)));
+    } else {
+      // Congestion avoidance: MSS^2 / cwnd per ACK.
+      cwnd_ += static_cast<double>(config_.mss) *
+               static_cast<double>(config_.mss) / cwnd_;
     }
 
     if (unacked_.empty()) {
@@ -546,11 +756,10 @@ void TcpConnection::handle_ack(const net::Packet& packet) {
     }
     if (trigger && !in_recovery_) {
       ++stats_.fast_retransmits;
-      ++stats_.recovery_enters;
       obs::emit(mux_.simulator().now(), obs::Code::kTcpFastRetransmit,
                 snd_una_, static_cast<std::uint64_t>(dup_acks_));
-      obs::count(obs::Counter::kCcRecoveryEnters);
-      cc_->on_recovery_enter(flight_size(), mux_.simulator().now());
+      ssthresh_ = std::max(static_cast<double>(flight_size()) / 2.0,
+                           2.0 * static_cast<double>(config_.mss));
       in_recovery_ = true;
       recovery_point_ = snd_nxt_;
       const auto it = unacked_.find(snd_una_);
@@ -560,6 +769,7 @@ void TcpConnection::handle_ack(const net::Packet& packet) {
         it->second.sent_at = mux_.simulator().now();
         send_segment(it->first, it->second, /*is_retx=*/true);
       }
+      cwnd_ = ssthresh_;
       if (config_.sack_enabled) sack_recovery_send();
       arm_rto();
     } else if (dup_acks_ > 3 && in_recovery_) {
@@ -652,8 +862,8 @@ void TcpConnection::on_rto() {
   ++stats_.timeouts;
   obs::emit(mux_.simulator().now(), obs::Code::kTcpTimeout, snd_una_,
             static_cast<std::uint64_t>(rto_));
-  // The backend sees the pre-clear flight size (what was presumed lost).
-  cc_->on_rto(flight_size(), mux_.simulator().now());
+  ssthresh_ = std::max(static_cast<double>(flight_size()) / 2.0,
+                       2.0 * static_cast<double>(config_.mss));
   // RFC 2581 §3.1: after a timeout everything in flight is presumed lost.
   // Go back to snd_una and re-send from there under slow start (the
   // receiver's reassembly buffer absorbs any spurious duplicates). A FIN
@@ -661,12 +871,7 @@ void TcpConnection::on_rto() {
   bool fin_was_inflight = false;
   for (const auto& [seq, seg] : unacked_) {
     if (seg.fin) fin_was_inflight = true;
-    // The go-back wipes the SACK scoreboard, so these bytes will be re-sent
-    // and credited to delivered_bytes_ again on their cumulative ACK;
-    // un-credit them now to keep delivery-rate numerators honest.
-    if (seg.sacked) delivered_bytes_ -= static_cast<std::uint64_t>(seg.len);
   }
-  karn_ambiguous_until_ = std::max(karn_ambiguous_until_, snd_nxt_);
   unacked_.clear();
   snd_nxt_ = snd_una_;
   highest_sacked_ = snd_una_;  // the SACK scoreboard is void after go-back
@@ -674,6 +879,7 @@ void TcpConnection::on_rto() {
     fin_sent_ = false;
     if (state_ == State::kFinWait) set_state(State::kEstablished);
   }
+  cwnd_ = static_cast<double>(config_.mss);
   in_recovery_ = false;
   dup_acks_ = 0;
   rto_ = std::min(rto_ * 2, config_.max_rto);
@@ -683,23 +889,7 @@ void TcpConnection::on_rto() {
   arm_rto();
 }
 
-void TcpConnection::sample_delivery_rate(const Segment& seg,
-                                         std::uint64_t seg_end) {
-  // `delivered_bytes_` already includes this segment's own credit. The
-  // send-time anchor plus SACK-time crediting keeps samples honest through
-  // recovery: a healing cumulative jump cannot re-count receiver-buffered
-  // bytes, and SACKed arrivals keep the filter fed while recovering.
-  if (seg.retransmitted || seg_end <= karn_ambiguous_until_) return;
-  const SimTime interval = mux_.simulator().now() - seg.sent_at;
-  if (interval <= 0) return;
-  const double rate =
-      static_cast<double>(delivered_bytes_ - seg.delivered_at_send) /
-      to_seconds(interval);
-  cc_->on_delivery_rate_sample(rate, seg.app_limited, seg.delivered_at_send,
-                               delivered_bytes_, mux_.simulator().now());
-}
-
-void TcpConnection::update_rtt(SimTime sample, bool feed_cc) {
+void TcpConnection::update_rtt(SimTime sample) {
   const double r = to_seconds(sample);
   if (!have_rtt_) {
     srtt_sec_ = r;
@@ -713,7 +903,6 @@ void TcpConnection::update_rtt(SimTime sample, bool feed_cc) {
   }
   const auto rto = seconds_to_sim(srtt_sec_ + 4.0 * rttvar_sec_);
   rto_ = std::clamp(rto, config_.min_rto, config_.max_rto);
-  if (feed_cc) cc_->on_rtt_sample(r, mux_.simulator().now());
 }
 
 void TcpConnection::finish_close() {
@@ -744,4 +933,4 @@ void TcpListener::on_packet(net::Packet packet) {
   if (on_accept_) on_accept_(std::move(conn));
 }
 
-}  // namespace rv::transport
+}  // namespace rv::transport::legacy

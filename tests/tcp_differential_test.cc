@@ -1,0 +1,170 @@
+// Differential test: the CongestionControl refactor must not change the
+// Reno path by even one bit. tests/legacy_tcp_for_diff.h is a verbatim
+// copy of the pre-refactor TcpConnection (inline NewReno); this test runs
+// the same seeded scenario — randomized bottleneck, cross traffic, chunk
+// schedule, SACK on odd seeds — once on each stack in its own simulator
+// and requires identical stats, identical final double-precision state
+// (cwnd, srtt) and an identical simulator event count. Any drift in
+// arithmetic, evaluation order or event scheduling shows up here long
+// before the (slower) full-study md5 gate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/cross_traffic.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "transport/mux.h"
+#include "transport/tcp.h"
+#include "util/rng.h"
+
+#include "legacy_tcp_for_diff.h"
+
+namespace rv::transport {
+namespace {
+
+struct NoMeta : net::PayloadMeta {};
+
+// Everything random is drawn once, up front, so both stacks replay the
+// identical scenario from the identical RNG stream.
+struct Scenario {
+  BitsPerSec rate = 0;
+  SimTime delay = 0;
+  std::int64_t queue_bytes = 0;
+  double cross_load = 0;
+  bool sack = false;
+  std::vector<std::int64_t> chunk_sizes;
+  std::uint64_t cross_seed = 0;
+
+  explicit Scenario(int seed) {
+    util::Rng rng(static_cast<std::uint64_t>(seed) * 9176 + 77);
+    rate = kbps(rng.uniform(256.0, 2000.0));
+    delay = msec(rng.uniform_int(5, 80));
+    queue_bytes = rng.uniform_int(8'000, 48'000);
+    cross_load = rng.uniform(0.3, 0.9);
+    sack = (seed % 2) == 1;
+    const int n = 60;
+    chunk_sizes.reserve(n);
+    for (int i = 0; i < n; ++i) chunk_sizes.push_back(rng.uniform_int(100, 2000));
+    cross_seed = rng.next_u64();
+  }
+};
+
+struct Outcome {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t bytes_acked = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t chunks_delivered = 0;
+  double client_cwnd = 0;
+  double client_srtt = 0;
+  std::uint64_t events_executed = 0;
+};
+
+struct LegacyStack {
+  using Config = legacy::TcpConfig;
+  using Connection = legacy::TcpConnection;
+  using Listener = legacy::TcpListener;
+};
+
+struct CurrentStack {  // default config.cc == kReno
+  using Config = TcpConfig;
+  using Connection = TcpConnection;
+  using Listener = TcpListener;
+};
+
+template <typename Stack>
+Outcome run_side(const Scenario& sc) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  const net::NodeId client_id = net.add_node("client");
+  const net::NodeId ra = net.add_node("ra");
+  const net::NodeId rb = net.add_node("rb");
+  const net::NodeId server_id = net.add_node("server");
+  net.add_link(client_id, ra, mbps(100), msec(1));
+  net.add_link(ra, rb, sc.rate, sc.delay, sc.queue_bytes);
+  net.add_link(rb, server_id, mbps(100), msec(1));
+  net.compute_routes();
+
+  // Background load shares the bottleneck queue, so drops (and therefore
+  // every recovery episode) depend on the TCP stack's own send pattern —
+  // identical outcomes require truly identical behavior.
+  net::CrossTrafficConfig ct;
+  ct.burst_rate = sc.rate * sc.cross_load;
+  ct.mean_on = msec(300);
+  ct.mean_off = msec(500);
+  net::CrossTrafficSource cross(net, ra, rb, ct, util::Rng(sc.cross_seed));
+  cross.start();
+
+  TransportMux client_mux(net, client_id);
+  TransportMux server_mux(net, server_id);
+  typename Stack::Config cfg;
+  cfg.sack_enabled = sc.sack;
+  std::unique_ptr<typename Stack::Connection> accepted;
+  typename Stack::Listener listener(
+      server_mux, 80, cfg,
+      [&](std::unique_ptr<typename Stack::Connection> c) {
+        accepted = std::move(c);
+      });
+  typename Stack::Connection client(client_mux, cfg);
+  client.set_on_established([&] {
+    for (const std::int64_t bytes : sc.chunk_sizes) {
+      client.send_chunk(bytes, std::make_shared<NoMeta>());
+    }
+  });
+  client.connect({server_id, 80});
+  sim.run_until(sec(90));
+
+  Outcome out;
+  const auto& s = client.stats();
+  out.segments_sent = s.segments_sent;
+  out.retransmits = s.retransmits;
+  out.timeouts = s.timeouts;
+  out.fast_retransmits = s.fast_retransmits;
+  out.bytes_acked = s.bytes_acked;
+  if (accepted != nullptr) {
+    out.bytes_delivered = accepted->stats().bytes_delivered;
+    out.chunks_delivered = accepted->stats().chunks_delivered;
+  }
+  out.client_cwnd = client.cwnd_bytes();
+  out.client_srtt = client.smoothed_rtt_seconds();
+  out.events_executed = sim.events_executed();
+  return out;
+}
+
+class TcpDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TcpDifferentialTest, RenoBackendIsByteIdenticalToLegacyInline) {
+  const Scenario sc(GetParam());
+  SCOPED_TRACE(::testing::Message()
+               << "seed=" << GetParam() << " rate=" << sc.rate
+               << " delay_usec=" << sc.delay << " queue=" << sc.queue_bytes
+               << " sack=" << sc.sack);
+  const Outcome legacy_out = run_side<LegacyStack>(sc);
+  const Outcome current_out = run_side<CurrentStack>(sc);
+  // The transfer must actually have exercised the stack.
+  EXPECT_GT(legacy_out.bytes_delivered, 0u);
+  EXPECT_EQ(legacy_out.chunks_delivered, 60u);
+  // Exact equality across the board, doubles included: RenoCC preserves
+  // the legacy arithmetic expression-for-expression.
+  EXPECT_EQ(current_out.segments_sent, legacy_out.segments_sent);
+  EXPECT_EQ(current_out.retransmits, legacy_out.retransmits);
+  EXPECT_EQ(current_out.timeouts, legacy_out.timeouts);
+  EXPECT_EQ(current_out.fast_retransmits, legacy_out.fast_retransmits);
+  EXPECT_EQ(current_out.bytes_acked, legacy_out.bytes_acked);
+  EXPECT_EQ(current_out.bytes_delivered, legacy_out.bytes_delivered);
+  EXPECT_EQ(current_out.chunks_delivered, legacy_out.chunks_delivered);
+  EXPECT_EQ(current_out.client_cwnd, legacy_out.client_cwnd);    // bit-exact
+  EXPECT_EQ(current_out.client_srtt, legacy_out.client_srtt);    // bit-exact
+  EXPECT_EQ(current_out.events_executed, legacy_out.events_executed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcpDifferentialTest,
+                         ::testing::Range(1, 26));
+
+}  // namespace
+}  // namespace rv::transport

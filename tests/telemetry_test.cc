@@ -129,6 +129,8 @@ TEST(FlightJson, RendersMetaReasonsEventsAndSeries) {
   series.data.bandwidth_kbps = {33.0};
   series.data.cwnd_bytes = {0.0};
   series.data.retx_per_sec = {0.0};
+  series.data.pacing_kbps = {0.0};
+  series.data.cc_state = {0.0};
   series.data.links[0].occupancy = {0.25};
   series.data.links[0].drops = {3};
   info.obs = &play_obs;
@@ -179,14 +181,18 @@ TEST(ChromeCounterSeries, ColumnsBecomeCounterTracks) {
   series.data.bandwidth_kbps = {30.0, 31.0};
   series.data.cwnd_bytes = {0.0, 0.0};
   series.data.retx_per_sec = {0.0, 0.0};
+  series.data.pacing_kbps = {0.0, 0.0};
+  series.data.cc_state = {0.0, 0.0};
   for (auto& link : series.data.links) {
     link.occupancy = {0.1, 0.2};
     link.drops = {0, 1};
   }
   const auto tracks = study::chrome_counter_series(series);
-  ASSERT_EQ(tracks.size(), 5u + 2u * world::PlayPath::kLinkCount);
+  ASSERT_EQ(tracks.size(), 7u + 2u * world::PlayPath::kLinkCount);
   EXPECT_EQ(tracks[0].name, "buffer_sec");
-  EXPECT_EQ(tracks[5].name, "access_occupancy");
+  EXPECT_EQ(tracks[5].name, "pacing_kbps");
+  EXPECT_EQ(tracks[6].name, "cc_state");
+  EXPECT_EQ(tracks[7].name, "access_occupancy");
   for (const auto& track : tracks) {
     EXPECT_EQ(track.t.size(), 2u);
     EXPECT_EQ(track.v.size(), 2u);

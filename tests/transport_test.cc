@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -299,6 +302,152 @@ TEST_P(TcpLossyPathTest, ReliableInOrderDelivery) {
 
 INSTANTIATE_TEST_SUITE_P(RandomPaths, TcpLossyPathTest,
                          ::testing::Range(0, 16));
+
+TEST(Tcp, RtoBackoffDoublesAndCapsAtMaxRto) {
+  // Blackhole the whole path mid-connection: every retransmission times
+  // out, so the RTO must double per attempt and saturate at max_rto.
+  Pair p;
+  TcpConfig cfg;
+  cfg.initial_rto = msec(500);
+  cfg.max_rto = sec(4);
+  std::unique_ptr<TcpConnection> accepted;
+  TcpListener listener(*p.server_mux, 80, cfg,
+                       [&](std::unique_ptr<TcpConnection> c) {
+                         accepted = std::move(c);
+                       });
+  TcpConnection client(*p.client_mux, cfg);
+  client.set_on_established([&] {
+    client.send_chunk(1000, std::make_shared<TagMeta>(0));
+  });
+  client.connect({p.server_id, 80});
+  // At t=1s the first chunk has been delivered and acked; kill every link
+  // direction and queue one more chunk that can never be acknowledged.
+  p.sim.schedule_at(sec(1), [&] {
+    for (std::size_t i = 0; i < p.net_->link_count(); ++i) {
+      net::Link& l = p.net_->link(i);
+      l.direction_from(l.a()).set_fault_filter(
+          [](const net::Packet&, SimTime) { return true; });
+      l.direction_from(l.b()).set_fault_filter(
+          [](const net::Packet&, SimTime) { return true; });
+    }
+    client.send_chunk(1000, std::make_shared<TagMeta>(1));
+  });
+  // Record the armed RTO after each timeout (polling at 50 ms beats the
+  // 200 ms minimum RTO, so no timeout can slip between samples).
+  std::vector<SimTime> rtos;
+  std::uint64_t seen_timeouts = 0;
+  std::function<void()> poll = [&] {
+    if (client.stats().timeouts > seen_timeouts) {
+      seen_timeouts = client.stats().timeouts;
+      rtos.push_back(client.current_rto());
+    }
+    p.sim.schedule_in(msec(50), poll);
+  };
+  p.sim.schedule_at(sec(1), poll);
+  p.sim.run_until(sec(40));
+  ASSERT_NE(accepted, nullptr);
+  ASSERT_GE(rtos.size(), 6u);
+  // Exponential backoff with a hard cap: each armed RTO is exactly
+  // min(2*previous, max_rto), and the cap is actually reached and held.
+  for (std::size_t i = 0; i + 1 < rtos.size(); ++i) {
+    EXPECT_EQ(rtos[i + 1], std::min<SimTime>(rtos[i] * 2, cfg.max_rto))
+        << "timeout #" << i + 1;
+    EXPECT_LE(rtos[i + 1], cfg.max_rto);
+  }
+  EXPECT_EQ(rtos.back(), cfg.max_rto);
+  EXPECT_EQ(rtos[rtos.size() - 2], cfg.max_rto);  // held, not just touched
+}
+
+TEST(Tcp, FastRecoveryExitsOnFullAckWithoutTimeout) {
+  // Drop exactly one data segment on the bottleneck. Three dupACKs enter
+  // fast recovery; the retransmission's cumulative ACK covers the recovery
+  // point and must exit recovery cleanly — no RTO involved.
+  Pair p;
+  net::Link& bottleneck = p.net_->link(1);
+  int data_seen = 0;
+  bool dropped = false;
+  bottleneck.direction_from(p.router_a)
+      .set_fault_filter([&](const net::Packet& pkt, SimTime) {
+        if (pkt.size_bytes < 500) return false;  // leave control frames be
+        ++data_seen;
+        if (!dropped && data_seen == 8) {
+          dropped = true;
+          return true;
+        }
+        return false;
+      });
+  std::vector<int> tags;
+  std::unique_ptr<TcpConnection> accepted;
+  TcpListener listener(*p.server_mux, 80, TcpConfig{},
+                       [&](std::unique_ptr<TcpConnection> c) {
+                         accepted = std::move(c);
+                         accepted->set_on_chunk(
+                             [&](std::shared_ptr<const net::PayloadMeta> m,
+                                 std::int64_t) {
+                               tags.push_back(
+                                   static_cast<const TagMeta&>(*m).tag);
+                             });
+                       });
+  TcpConnection client(*p.client_mux, TcpConfig{});
+  client.set_on_established([&] {
+    for (int i = 0; i < 60; ++i) {
+      client.send_chunk(1000, std::make_shared<TagMeta>(i));
+    }
+  });
+  bool recovery_observed = false;
+  std::function<void()> poll = [&] {
+    recovery_observed = recovery_observed || client.in_fast_recovery();
+    p.sim.schedule_in(msec(1), poll);
+  };
+  p.sim.schedule_at(0, poll);
+  client.connect({p.server_id, 80});
+  p.sim.run_until(sec(10));
+  EXPECT_TRUE(dropped);
+  EXPECT_TRUE(recovery_observed);
+  EXPECT_EQ(client.stats().recovery_enters, 1u);
+  EXPECT_EQ(client.stats().fast_retransmits, 1u);
+  EXPECT_EQ(client.stats().timeouts, 0u);
+  EXPECT_FALSE(client.in_fast_recovery());  // full ACK ended the episode
+  // Post-recovery the window sits at ssthresh and growth has resumed.
+  EXPECT_GE(client.cwnd_bytes(), client.ssthresh_bytes());
+  // And the stream healed: everything delivered exactly once, in order.
+  ASSERT_EQ(tags.size(), 60u);
+  for (int i = 0; i < 60; ++i) EXPECT_EQ(tags[static_cast<size_t>(i)], i);
+}
+
+TEST(Tcp, PeerAdvertisedWindowClampsFlight) {
+  // A 5 kB receive window must bound the sender's outstanding bytes no
+  // matter how large the congestion window grows.
+  Pair p;
+  TcpConfig server_cfg;
+  server_cfg.recv_window = 5'000;
+  std::unique_ptr<TcpConnection> accepted;
+  TcpListener listener(*p.server_mux, 80, server_cfg,
+                       [&](std::unique_ptr<TcpConnection> c) {
+                         accepted = std::move(c);
+                       });
+  TcpConnection client(*p.client_mux, TcpConfig{});
+  client.set_on_established([&] {
+    for (int i = 0; i < 100; ++i) {
+      client.send_chunk(1000, std::make_shared<TagMeta>(i));
+    }
+  });
+  std::int64_t max_flight = 0;
+  std::function<void()> poll = [&] {
+    max_flight = std::max(max_flight, client.flight_bytes());
+    p.sim.schedule_in(msec(5), poll);
+  };
+  p.sim.schedule_at(0, poll);
+  client.connect({p.server_id, 80});
+  p.sim.run_until(sec(30));
+  ASSERT_NE(accepted, nullptr);
+  EXPECT_EQ(accepted->stats().bytes_delivered, 100'000u);
+  EXPECT_GT(max_flight, 0);
+  EXPECT_LE(max_flight, 5'000);
+  // The congestion window itself outgrew the clamp, proving the peer
+  // window (not cwnd) was the binding constraint.
+  EXPECT_GT(client.cwnd_bytes(), 5'000.0);
+}
 
 TEST(Udp, RoundTripDatagrams) {
   Pair p;

@@ -37,6 +37,7 @@
 #include "study/cache.h"
 #include "study/figures.h"
 #include "study/telemetry_report.h"
+#include "transport/congestion_control.h"
 #include "util/args.h"
 #include "util/strings.h"
 
@@ -278,6 +279,7 @@ int main(int argc, char** argv) {
   if (args.positional().empty() || args.has("help")) {
     std::cout << "usage: realdata <summary|fig N|slice|users|servers|"
                  "export DIR> [--scale X] [--seed N] [--threads N] "
+                 "[--cc reno|cubic|bbr] "
                  "[--faults [--outage-scale X]] [--trace PATH "
                  "[--trace-play U,P]] [--telemetry] "
                  "[--telemetry-interval-ms N] [--series-csv PATH] "
@@ -289,6 +291,15 @@ int main(int argc, char** argv) {
   config.play_scale = args.get_double("scale", 1.0);
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 2001));
   config.threads = static_cast<int>(args.get_int("threads", 0));
+  if (const auto cc = args.get("cc")) {
+    const auto parsed = transport::parse_cc_algorithm(*cc);
+    if (!parsed) {
+      std::cerr << "--cc expects one of reno|cubic|bbr (got '" << *cc
+                << "')\n";
+      return 2;
+    }
+    config.tracer.tcp_cc = *parsed;
+  }
   if (args.has("faults")) {
     // Mechanistic fault injection: per-site outage schedules instead of the
     // Bernoulli availability model (plus any FaultConfig defaults).

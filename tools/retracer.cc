@@ -6,6 +6,7 @@
 //            [--region us-east|us-west|europe|asia|japan|australia|
 //                      s-america|middle-east]
 //            [--clip <playlist-index 0..97>] [--protocol auto|tcp]
+//            [--cc reno|cubic|bbr]
 //            [--live] [--watch <seconds>] [--seed <n>] [--samples]
 //            [--trace <path>] [--telemetry] [--telemetry-interval-ms <n>]
 //            [--series-csv <path>]
@@ -27,6 +28,7 @@
 #include "study/study.h"
 #include "study/telemetry_report.h"
 #include "tracer/real_tracer.h"
+#include "transport/congestion_control.h"
 #include "util/args.h"
 #include "util/strings.h"
 #include "world/region_graph.h"
@@ -65,6 +67,7 @@ int main(int argc, char** argv) {
   if (args.has("help")) {
     std::cout << "usage: retracer [--connection modem|dsl|t1] [--pc <class>]"
                  " [--region <name>] [--clip <0..97>] [--protocol auto|tcp]"
+                 " [--cc reno|cubic|bbr]"
                  " [--live] [--watch <sec>] [--seed <n>] [--samples]"
                  " [--trace <path>] [--telemetry]"
                  " [--telemetry-interval-ms <n>] [--series-csv <path>]\n";
@@ -79,6 +82,15 @@ int main(int argc, char** argv) {
 
   tracer::TracerConfig tracer_cfg;
   tracer_cfg.live_content = args.has("live");
+  if (const auto cc = args.get("cc")) {
+    const auto parsed = transport::parse_cc_algorithm(*cc);
+    if (!parsed) {
+      std::cerr << "--cc expects one of reno|cubic|bbr (got '" << *cc
+                << "')\n";
+      return 2;
+    }
+    tracer_cfg.tcp_cc = *parsed;
+  }
   tracer_cfg.watch_duration =
       seconds_to_sim(args.get_double("watch", 60.0));
   const std::string trace_path = args.get_or("trace", "");
