@@ -84,6 +84,63 @@ void BM_SimulatorTimerChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorTimerChurn);
 
+void BM_SimulatorTimerChurn64k(benchmark::State& state) {
+  // Same churn shape at campaign scale: 64k concurrent timers. A comparison
+  // heap is 8 levels deep here and every pop misses cache walking it; the
+  // timer wheel keeps pop+push O(1), so the per-event gap vs the 64-timer
+  // variant is the structure's payoff on the record.
+  constexpr int kTimers = 64 * 1024;
+  constexpr long kFires = 256 * 1024;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    long fired = 0;
+    std::function<void(int)> tick = [&](int period) {
+      ++fired;
+      if (fired < kFires) {
+        sim.schedule_in(period, [&tick, period] { tick(period); });
+      }
+    };
+    for (int t = 0; t < kTimers; ++t) {
+      const int period = 5 + (t % 13);
+      sim.schedule_in(period, [&tick, period] { tick(period); });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * kFires);
+}
+BENCHMARK(BM_SimulatorTimerChurn64k)->Name("BM_SimulatorTimerChurn/64k")
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SimulatorWheelCascade(benchmark::State& state) {
+  // Worst case for the hierarchical wheel: periods spanning all four levels
+  // (sub-256us through multi-16s), so entries land high and cascade down —
+  // sometimes across several levels — before firing. A pure heap pays
+  // log(n) regardless; the wheel pays its amortised cascade cost here.
+  constexpr long kFires = 20000;
+  static constexpr int kPeriods[] = {7,      180,    3000,   70000,
+                                     900000, 20000000, 300000000};
+  for (auto _ : state) {
+    sim::Simulator sim;
+    long fired = 0;
+    std::function<void(int)> tick = [&](int idx) {
+      ++fired;
+      if (fired < kFires) {
+        const int next = (idx + 1) % 7;
+        sim.schedule_in(kPeriods[next], [&tick, next] { tick(next); });
+      }
+    };
+    for (int t = 0; t < 64; ++t) {
+      const int idx = t % 7;
+      sim.schedule_in(kPeriods[idx], [&tick, idx] { tick(idx); });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * kFires);
+}
+BENCHMARK(BM_SimulatorWheelCascade);
+
 void BM_PacketForwardingChain(benchmark::State& state) {
   const auto hops = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
@@ -112,6 +169,46 @@ void BM_PacketForwardingChain(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PacketForwardingChain)->Arg(2)->Arg(8);
+
+// A deep same-tick burst through one link: 512 packets queue behind the
+// transmitter and drain at line rate. This is the shape the batched drain
+// targets — the whole backlog is scheduled analytically in one event
+// context (one delivery per packet plus a single batch-end) instead of a
+// tx-done/start-transmission chain per packet. Arg 0 is the per-packet
+// path (the default, and what the committed study runs); Arg 1 opts into
+// the batched path — the pair is the in-tree ablation.
+void BM_LinkBurstForward(benchmark::State& state) {
+  constexpr int kPackets = 512;
+  net::QueueConfig queue;
+  queue.capacity_bytes = kPackets * 1000;
+  queue.batch = state.range(0) != 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network net(sim);
+    const auto a = net.add_node("a");
+    const auto b = net.add_node("b");
+    net.add_link(a, b, mbps(100), msec(1), queue);
+    net.compute_routes();
+    int delivered = 0;
+    net.node(b).set_local_sink([&](net::Packet) { ++delivered; });
+    for (int i = 0; i < kPackets; ++i) {
+      net::Packet p;
+      p.src = a;
+      p.dst = b;
+      p.proto = net::Protocol::kUdp;
+      p.size_bytes = 1000;
+      net.send(p);
+    }
+    sim.run();
+    if (delivered != kPackets) state.SkipWithError("burst lost packets");
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * kPackets);
+}
+BENCHMARK(BM_LinkBurstForward)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_TcpBulkTransfer(benchmark::State& state) {
   struct Tag : net::PayloadMeta {};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/arena.h"
 #include "util/check.h"
 
 namespace rv::server {
@@ -142,7 +143,7 @@ void StreamSender::send_frame_packets(const media::VideoFrame& frame) {
 void StreamSender::send_audio_up_to(SimTime media_pos) {
   const auto& level = clip_.level(level_);
   while (audio_pos_ < media_pos) {
-    auto meta = std::make_shared<media::MediaPacketMeta>();
+    auto meta = util::arena_make_shared<media::MediaPacketMeta>();
     meta->clip_id = clip_.id();
     meta->level = static_cast<std::uint16_t>(level_);
     meta->kind = media::MediaKind::kAudio;
@@ -168,7 +169,7 @@ void StreamSender::send_end_of_stream() {
   // Over UDP the EOS may be lost; send a small burst.
   const int copies = channel_.reliable() ? 1 : 3;
   for (int i = 0; i < copies; ++i) {
-    auto meta = std::make_shared<media::MediaPacketMeta>();
+    auto meta = util::arena_make_shared<media::MediaPacketMeta>();
     meta->clip_id = clip_.id();
     meta->kind = media::MediaKind::kEndOfStream;
     meta->pts = clip_.duration();
@@ -230,7 +231,7 @@ void StreamSender::on_repair_request(const media::RepairRequestMeta& request) {
   for (const std::uint32_t seq : request.seqs) {
     const auto it = repair_ring_.find(seq);
     if (it == repair_ring_.end()) continue;
-    auto repair = std::make_shared<media::MediaPacketMeta>(*it->second);
+    auto repair = util::arena_make_shared<media::MediaPacketMeta>(*it->second);
     repair->kind = media::MediaKind::kRepair;
     repair->sent_at = sim_.now();
     channel_.send_media(repair, repair->payload_bytes);

@@ -57,6 +57,19 @@ class EventFn {
 
   void operator()() { ops_->invoke(target()); }
 
+  // Fused invoke + clear for the kernel's fire path: one Ops fetch covers
+  // both the call and the (usually no-op) destruction, and the EventFn is
+  // empty afterwards without a second assignment. Equivalent to
+  // `(*this)(); *this = EventFn();` — the target is destroyed only after it
+  // returns, so self-referential captures stay valid during the call.
+  void invoke_and_clear() {
+    const Ops* o = ops_;
+    void* t = o->inline_storage ? static_cast<void*>(buf_) : heap_;
+    o->invoke(t);
+    if (o->destroy != nullptr) o->destroy(t);
+    ops_ = nullptr;
+  }
+
   explicit operator bool() const noexcept { return ops_ != nullptr; }
   friend bool operator==(const EventFn& f, std::nullptr_t) { return !f; }
   friend bool operator!=(const EventFn& f, std::nullptr_t) {

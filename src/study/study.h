@@ -29,13 +29,19 @@ struct StudyConfig {
   bool profile = false;
 };
 
-// One worker thread's execution-phase accounting.
-struct WorkerProfile {
+// One worker thread's execution-phase accounting. Each worker owns exactly
+// one slot and bumps it after every play; at 32 payload bytes two unpadded
+// slots would share a cache line and profiled runs would ping-pong it
+// between cores, so the slot is padded out to a full line.
+struct alignas(64) WorkerProfile {
   std::uint64_t plays = 0;          // tasks this worker executed
   double busy_seconds = 0.0;        // wall time inside run_play
   double idle_seconds = 0.0;        // execute wall minus busy (starvation)
   double max_play_seconds = 0.0;    // costliest single play
 };
+static_assert(sizeof(WorkerProfile) == 64 && alignof(WorkerProfile) == 64,
+              "WorkerProfile slots must each own a whole cache line; "
+              "re-pad after adding fields");
 
 // Study-level profile: plan/execute phase walls plus per-worker breakdown.
 struct StudyProfile {

@@ -113,6 +113,16 @@ TraceRecord RealTracer::run_session(
   world::PlayPath& path = ctx.path;
   path.start_cross_traffic();
 
+  // Every metadata block from the previous play died in the resets above
+  // (pending events with sim.reset(), queued packets with the network
+  // rebuild), so the arena can rewind. The scope routes this play's
+  // arena_make_shared calls — packetizer, sender, player, RTSP wire metas —
+  // into ctx's slabs. Declared before server/player so their destructors
+  // (which release the last meta references) run inside the scope; release
+  // is a no-op either way, the ordering just keeps the contract obvious.
+  ctx.arena.reset();
+  util::ArenaScope arena_scope(&ctx.arena);
+
   server::RealServerConfig server_cfg;
   server_cfg.udp_control = config_.udp_control;
   server_cfg.sender.surestream_enabled = config_.surestream_enabled;

@@ -1,0 +1,31 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+namespace rv::util {
+
+void* Arena::allocate_slow(std::size_t bytes, std::size_t align) {
+  // Move to the next retained slab that fits, growing only when none does.
+  // Oversized requests get a dedicated right-sized slab, so one giant
+  // allocation never forces every later slab to that size.
+  const std::size_t need = bytes + align;  // worst-case alignment slack
+  while (true) {
+    ++chunk_index_;
+    if (chunk_index_ >= chunks_.size()) {
+      Chunk c;
+      c.size = std::max(kChunkBytes, need);
+      c.data = std::make_unique<unsigned char[]>(c.size);
+      chunks_.push_back(std::move(c));
+    }
+    const Chunk& c = chunks_[chunk_index_];
+    cursor_ = reinterpret_cast<std::uintptr_t>(c.data.get());
+    limit_ = cursor_ + c.size;
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~std::uintptr_t{align - 1};
+    if (p + bytes <= limit_) {
+      cursor_ = p + bytes;
+      return reinterpret_cast<void*>(p);
+    }
+  }
+}
+
+}  // namespace rv::util

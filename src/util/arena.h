@@ -1,0 +1,146 @@
+// Arena: a chunked bump allocator for per-play transient allocations.
+//
+// A play allocates thousands of short-lived packet-metadata blocks
+// (media::MediaPacketMeta, RtspTextMeta, feedback/repair metas) whose
+// lifetimes all end by the next play's context reset. Routing them through
+// a per-PlayContext arena makes each allocation a pointer bump, makes
+// deallocation free, and — because reset() rewinds instead of freeing —
+// makes steady-state plays allocation-free: the slabs a context's first
+// plays grew are reused by every later play on that worker.
+//
+// Lifetime contract: memory handed out stays valid until reset(); release
+// (ArenaAllocator::deallocate) is a no-op, so shared_ptr control blocks may
+// drop their last reference any time before the owning context resets —
+// exactly the window run_session guarantees (everything from the previous
+// play is destroyed by Simulator::reset + Network::reset before the arena
+// rewinds).
+//
+// Not thread-safe: one arena per worker context, like the Simulator it
+// rides with. ArenaScope binds "the current play's arena" thread-locally so
+// deep call sites (packetizer, sender, player) need no plumbing; outside
+// any scope arena_make_shared falls back to the global heap, which keeps
+// unit tests and standalone tools working unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace rv::util {
+
+class Arena {
+ public:
+  // Slab granularity. Big enough that a typical play stays in one or two
+  // slabs, small enough that hundreds of idle worker contexts are cheap.
+  static constexpr std::size_t kChunkBytes = std::size_t{64} * 1024;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    RV_DCHECK((align & (align - 1)) == 0);
+    std::uintptr_t p = (cursor_ + (align - 1)) & ~std::uintptr_t{align - 1};
+    if (p + bytes > limit_) return allocate_slow(bytes, align);
+    cursor_ = p + bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  // Rewinds to the first slab; keeps every slab for reuse. All memory the
+  // arena ever handed out is dead after this.
+  void reset() {
+    if (chunks_.empty()) {
+      chunk_index_ = kNoChunk;
+      cursor_ = limit_ = 0;
+    } else {
+      chunk_index_ = 0;
+      cursor_ = reinterpret_cast<std::uintptr_t>(chunks_.front().data.get());
+      limit_ = cursor_ + chunks_.front().size;
+    }
+  }
+
+  // Introspection for tests: slab count never shrinks, and a play replayed
+  // on a warm arena must not grow it.
+  std::size_t slab_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> data;
+    std::size_t size;
+  };
+
+  void* allocate_slow(std::size_t bytes, std::size_t align);
+
+  // "No slab yet": incrementing wraps to slab 0 (unsigned arithmetic), so
+  // the slow path's advance-then-grow loop needs no empty-arena special
+  // case.
+  static constexpr std::size_t kNoChunk = static_cast<std::size_t>(-1);
+
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t chunk_index_ = kNoChunk;  // slab backing [cursor_, limit_)
+  std::vector<Chunk> chunks_;
+};
+
+// Binds `arena` as the thread's current play arena for the scope's
+// lifetime. Nesting restores the previous binding, so a play that runs a
+// nested mini-simulation keeps each context's allocations separate.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena* arena) : prev_(current_) { current_ = arena; }
+  ~ArenaScope() { current_ = prev_; }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  static Arena* current() { return current_; }
+
+ private:
+  Arena* prev_;
+  inline static thread_local Arena* current_ = nullptr;
+};
+
+// Minimal std allocator over the current arena. deallocate is a no-op by
+// design (see the lifetime contract above).
+template <typename T>
+struct ArenaAllocator {
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) noexcept : arena(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept  // NOLINT
+      : arena(other.arena) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const noexcept {
+    return arena == other.arena;
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const noexcept {
+    return arena != other.arena;
+  }
+
+  Arena* arena;
+};
+
+// make_shared that places the object *and* its control block in the
+// current play's arena (one bump, zero frees); identical to
+// std::make_shared when no ArenaScope is active.
+template <typename T, typename... Args>
+std::shared_ptr<T> arena_make_shared(Args&&... args) {
+  if (Arena* a = ArenaScope::current(); a != nullptr) {
+    return std::allocate_shared<T>(ArenaAllocator<T>(a),
+                                   std::forward<Args>(args)...);
+  }
+  return std::make_shared<T>(std::forward<Args>(args)...);
+}
+
+}  // namespace rv::util

@@ -5,6 +5,7 @@
 // builds and is meant for hot paths.
 #pragma once
 
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -28,16 +29,20 @@ namespace internal {
 }
 
 // Collects an optional streamed message for RV_CHECK(cond) << "context".
+// The stream is heap-allocated on first use: the object itself is four
+// pointers, so functions with RV_CHECKs on their hot path don't reserve an
+// ostringstream-sized stack frame for the never-taken failure branch.
 class CheckMessage {
  public:
   CheckMessage(const char* expr, const char* file, int line)
       : expr_(expr), file_(file), line_(line) {}
   [[noreturn]] ~CheckMessage() noexcept(false) {
-    check_failed(expr_, file_, line_, os_.str());
+    check_failed(expr_, file_, line_, os_ ? os_->str() : std::string());
   }
   template <typename T>
   CheckMessage& operator<<(const T& v) {
-    os_ << v;
+    if (!os_) os_ = std::make_unique<std::ostringstream>();
+    *os_ << v;
     return *this;
   }
 
@@ -45,7 +50,7 @@ class CheckMessage {
   const char* expr_;
   const char* file_;
   int line_;
-  std::ostringstream os_;
+  std::unique_ptr<std::ostringstream> os_;
 };
 
 }  // namespace internal

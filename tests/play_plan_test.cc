@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
 #include <numeric>
 
 #include "study/study.h"
@@ -148,6 +149,20 @@ TEST_F(PlanFixture, ReusedContextMatchesFreshContexts) {
     EXPECT_EQ(reused.stats.preroll_seconds, once.stats.preroll_seconds);
     EXPECT_EQ(reused.stats.samples.size(), once.stats.samples.size());
   }
+
+  // Arena steady state: a second pass over the same plays must be served
+  // entirely from the slabs the first pass grew (rewind, no new slabs) and
+  // still produce identical records.
+  const std::size_t slabs_warm = warm.arena.slab_count();
+  EXPECT_GT(slabs_warm, 0u);
+  for (const auto& task : plan.tasks) {
+    const TraceRecord again = tracer_.run_play(task, user, warm);
+    PlayContext fresh;
+    const TraceRecord once = tracer_.run_play(task, user, fresh);
+    EXPECT_EQ(again.stats.bytes_received, once.stats.bytes_received);
+    EXPECT_EQ(again.stats.measured_fps, once.stats.measured_fps);
+  }
+  EXPECT_EQ(warm.arena.slab_count(), slabs_warm);
 }
 
 TEST_F(PlanFixture, ReusedContextMatchesFreshContextsWithFaults) {

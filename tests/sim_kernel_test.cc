@@ -177,6 +177,112 @@ TEST(SimKernelDifferential, FireLogsMatchLegacyKernel) {
   }
 }
 
+// Long-horizon variant: deltas span every wheel level (sub-256us, 256us
+// blocks, 65ms blocks, 16s blocks) plus far-future times past the 2^32 us
+// wheel horizon, so the log only matches if cascades, the overflow heap, and
+// the wheel/heap pop arbitration all preserve exact {time, seq} order.
+template <typename Sim>
+std::vector<FireRecord> drive_multilevel(std::uint32_t seed) {
+  Sim sim;
+  std::mt19937 rng(seed);
+  std::vector<FireRecord> log;
+  std::vector<EventId> ids;
+  int next_label = 0;
+
+  // Deltas chosen per level; the huge bucket exceeds the 71-minute wheel
+  // horizon and must take the overflow-heap path in the hybrid.
+  const auto pick_delta = [&]() -> SimTime {
+    switch (rng() % 6) {
+      case 0: return static_cast<SimTime>(rng() % 4);            // level 0 ties
+      case 1: return static_cast<SimTime>(rng() % 256);          // level 0/1
+      case 2: return static_cast<SimTime>(rng() % (256 * 256));  // level 1/2
+      case 3: return static_cast<SimTime>(rng() % (1 << 24));    // level 2/3
+      case 4: return static_cast<SimTime>(rng() % (1u << 31));   // level 3
+      default:  // beyond the wheel horizon: overflow heap
+        return static_cast<SimTime>((std::uint64_t{1} << 32) + rng() % 100000);
+    }
+  };
+
+  std::function<void(int)> fire = [&](int label) {
+    log.push_back({label, sim.now()});
+    if (label % 4 == 0) {
+      const int nested = next_label++;
+      const SimTime delta = (label % 2 == 0)
+                                ? static_cast<SimTime>(label % 9)
+                                : static_cast<SimTime>((label % 5) * 70000);
+      ids.push_back(sim.schedule_in(delta, [&fire, nested] { fire(nested); }));
+    }
+    if (label % 7 == 0 && !ids.empty()) {
+      sim.cancel(ids[static_cast<std::size_t>(label) % ids.size()]);
+    }
+  };
+
+  for (int op = 0; op < 300; ++op) {
+    switch (rng() % 8) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {
+        const int label = next_label++;
+        ids.push_back(sim.schedule_at(sim.now() + pick_delta(),
+                                      [&fire, label] { fire(label); }));
+        break;
+      }
+      case 4: {
+        if (!ids.empty()) sim.cancel(ids[rng() % ids.size()]);
+        break;
+      }
+      case 5: {  // deadlines long enough to force multi-level cascades
+        sim.run_until(sim.now() + pick_delta());
+        break;
+      }
+      case 6: {
+        sim.step();
+        break;
+      }
+      case 7: {
+        if (rng() % 4 == 0) sim.run();
+        break;
+      }
+    }
+  }
+  sim.run();
+  return log;
+}
+
+TEST(SimKernelDifferential, MultiLevelFireLogsMatchLegacyKernel) {
+  for (std::uint32_t seed = 1; seed <= 25; ++seed) {
+    const auto legacy = drive_multilevel<LegacySimulator>(seed);
+    const auto current = drive_multilevel<Simulator>(seed);
+    ASSERT_FALSE(legacy.empty()) << "seed " << seed << " exercised nothing";
+    ASSERT_EQ(legacy.size(), current.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+      ASSERT_EQ(legacy[i], current[i])
+          << "seed " << seed << " diverged at fire #" << i << ": legacy {"
+          << legacy[i].label << " @ " << legacy[i].at << "} vs current {"
+          << current[i].label << " @ " << current[i].at << "}";
+    }
+  }
+}
+
+TEST(SimKernelDifferential, OverflowHeapSplitIsVisible) {
+  // Pin the wheel/heap split: near events live in the wheel, events past the
+  // 2^32 us horizon go to the overflow heap, and both drain in exact order.
+  Simulator sim;
+  std::vector<FireRecord> log;
+  sim.schedule_at(100, [&] { log.push_back({0, sim.now()}); });
+  const SimTime far = (SimTime{1} << 32) + 5;
+  sim.schedule_at(far, [&] { log.push_back({1, sim.now()}); });
+  EXPECT_EQ(sim.heap_size(), 2u);
+  EXPECT_EQ(sim.overflow_size(), 1u);
+  sim.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], (FireRecord{0, 100}));
+  EXPECT_EQ(log[1], (FireRecord{1, far}));
+  EXPECT_EQ(sim.heap_size(), 0u);
+  EXPECT_EQ(sim.overflow_size(), 0u);
+}
+
 TEST(SimKernelDifferential, RunUntilQuirkMatchesLegacyKernel) {
   // Directed check of the preserved quirk: a cancelled head entry at or
   // before the deadline admits one step that fires a live event past the
