@@ -16,8 +16,10 @@ Modes:
              `after` numbers, after rescaling by the calibration benchmark
              (BM_CdfBuildAndQuery — pure arithmetic, untouched by kernel
              work) so a slower CI machine does not read as a regression.
-  --study    also run the full study (slow: minutes) and record wall time
-             and the cache fingerprint.
+  --study    also run the full study (slow: minutes) and record wall time,
+             peak RSS (the child's ru_maxrss), and the cache fingerprint;
+             --check gates the RSS against the committed number under
+             --rss-tolerance.
   --threads-sweep 1,2,4,8
              with --study: run the full study once per thread count, record
              the scaling curve under study.scaling in BENCH_sim.json, and
@@ -64,6 +66,20 @@ Modes:
              run the full bench_ablation_cc loss x jitter grid (minutes)
              and rewrite the `cc_grid` section of BENCH_sim.json with the
              per-backend goodput/CV cells and tracer rebuffer rates.
+  --shard-smoke
+             cheap CI gate for multi-process sharding: run a smoke-scale
+             campaign once single-process and once as 4 shards, merge the
+             shards with rvmerge, and fail unless the merged rollup.bin and
+             records.spill are byte-identical to the single-process files.
+             Also checks that a gap in the shard sequence is a hard merge
+             error, that strict --plays-scale/--shard/--spill-dir/
+             --cache-dir parsing exits 2, and that --cache-dir actually
+             redirects the study cache. Needs realdata and rvmerge.
+  --campaign
+             run a full campaign (hours at the default --campaign-scale 350
+             ~= 1M plays, --campaign-watch 5) and rewrite the `campaign`
+             section of BENCH_sim.json with plays/s/core and the campaign
+             process's peak RSS — the bounded-memory headline numbers.
 
 With no mode flag it measures and prints, changing nothing.
 
@@ -89,6 +105,7 @@ DEFAULT_BENCH = os.path.join(REPO_ROOT, "build", "bench", "bench_microbench")
 DEFAULT_CC_BENCH = os.path.join(REPO_ROOT, "build", "bench",
                                 "bench_ablation_cc")
 DEFAULT_REALDATA = os.path.join(REPO_ROOT, "build", "tools", "realdata")
+DEFAULT_RVMERGE = os.path.join(REPO_ROOT, "build", "tools", "rvmerge")
 DEFAULT_JSON = os.path.join(REPO_ROOT, "BENCH_sim.json")
 
 # Benchmarks tracked for regressions. BM_CdfBuildAndQuery is the calibration
@@ -176,8 +193,31 @@ def derive(results):
     return d
 
 
+def run_traced(cmd, cwd=None, capture=False):
+    """Runs cmd to completion; returns (returncode, stdout, peak_rss_kb).
+
+    Peak RSS is the child's ru_maxrss from wait4 — the same number the
+    kernel reports in /proc/<pid>/status as VmHWM, in KiB on Linux — so the
+    bench harness measures memory the same way the campaign driver does.
+    """
+    proc = subprocess.Popen(
+        cmd, cwd=cwd,
+        stdout=subprocess.PIPE if capture else subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL)
+    out = proc.stdout.read().decode() if capture else ""
+    _, status, rusage = os.wait4(proc.pid, 0)
+    # Record the exit status on the Popen so its finalizer does not try to
+    # reap the already-waited child.
+    proc.returncode = os.waitstatus_to_exitcode(status)
+    return proc.returncode, out, rusage.ru_maxrss
+
+
 def run_study(realdata, seed, threads, scale=None):
-    """Runs the full study in a scratch dir; returns (wall_s, cache_md5)."""
+    """Runs the full study in a scratch dir.
+
+    Returns (wall_s, cache_md5, peak_rss_kb). The study cache lands in
+    ./.rv_cache/ under the scratch cwd.
+    """
     scratch = tempfile.mkdtemp(prefix="rv_bench_study_")
     try:
         cmd = [realdata, "summary", "--seed", str(seed), "--threads",
@@ -185,19 +225,25 @@ def run_study(realdata, seed, threads, scale=None):
         if scale is not None:
             cmd += ["--scale", "%g" % scale]
         t0 = time.monotonic()
-        subprocess.run(
-            cmd, check=True, cwd=scratch, stdout=subprocess.DEVNULL,
-            stderr=subprocess.DEVNULL)
+        rc, _, peak_rss_kb = run_traced(cmd, cwd=scratch)
+        if rc != 0:
+            raise RuntimeError("realdata summary exited %d" % rc)
         wall = time.monotonic() - t0
+        cache_dir = os.path.join(scratch, ".rv_cache")
         caches = sorted(
-            f for f in os.listdir(scratch) if f.endswith(".cache"))
+            f for f in os.listdir(cache_dir) if f.endswith(".cache")
+        ) if os.path.isdir(cache_dir) else []
         if len(caches) != 1:
             raise RuntimeError("expected one .cache file, got %r" % caches)
         digest = hashlib.md5(
-            open(os.path.join(scratch, caches[0]), "rb").read()).hexdigest()
-        return wall, digest
+            open(os.path.join(cache_dir, caches[0]), "rb").read()).hexdigest()
+        return wall, digest, peak_rss_kb
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
+
+
+def md5_file(path):
+    return hashlib.md5(open(path, "rb").read()).hexdigest()
 
 
 def main():
@@ -261,6 +307,25 @@ def main():
     ap.add_argument("--cc-grid", action="store_true",
                     help="run the full CC loss x jitter grid (minutes) and "
                          "rewrite the cc_grid section of BENCH_sim.json")
+    ap.add_argument("--rss-tolerance", type=float, default=0.30,
+                    help="--check fails if the study's peak RSS exceeds the "
+                         "committed number by more than this fraction")
+    ap.add_argument("--rvmerge-binary", default=DEFAULT_RVMERGE)
+    ap.add_argument("--shard-smoke", action="store_true",
+                    help="run a smoke-scale campaign single-process and as "
+                         "4 merged shards; fail unless the merged rollup "
+                         "and spill are byte-identical to the single-"
+                         "process files, and check strict campaign/cache "
+                         "flag parsing exits 2")
+    ap.add_argument("--campaign", action="store_true",
+                    help="run a full campaign (hours at --campaign-scale "
+                         "350 ~= 1M plays) and rewrite the `campaign` "
+                         "section of BENCH_sim.json with plays/s/core and "
+                         "peak RSS")
+    ap.add_argument("--campaign-scale", type=int, default=350,
+                    help="--plays-scale for --campaign (350 ~= 1M plays)")
+    ap.add_argument("--campaign-watch", type=float, default=5.0,
+                    help="per-play watch duration (seconds) for --campaign")
     ap.add_argument("--seed", type=int, default=2001)
     ap.add_argument("--threads", type=int, default=4)
     args = ap.parse_args()
@@ -273,8 +338,8 @@ def main():
                      args.realdata_binary)
         digests = {}
         for threads in (1, 2):
-            wall, digest = run_study(args.realdata_binary, args.seed,
-                                     threads, scale=args.smoke_scale)
+            wall, digest, _ = run_study(args.realdata_binary, args.seed,
+                                        threads, scale=args.smoke_scale)
             digests[threads] = digest
             print("smoke threads=%d wall=%.1fs md5=%s" %
                   (threads, wall, digest), file=sys.stderr)
@@ -296,8 +361,8 @@ def main():
         for threads in (1, 2):
             best = None
             for rep in range(max(1, args.scaling_runs)):
-                wall, digest = run_study(args.realdata_binary, args.seed,
-                                         threads, scale=args.scaling_scale)
+                wall, digest, _ = run_study(args.realdata_binary, args.seed,
+                                            threads, scale=args.scaling_scale)
                 if threads in digests and digests[threads] != digest:
                     sys.exit("scaling smoke FAILED: md5 differs between "
                              "repeat runs at threads=%d (%s vs %s)" %
@@ -560,6 +625,161 @@ def main():
             shutil.rmtree(scratch, ignore_errors=True)
         return
 
+    if args.shard_smoke:
+        for binary in (args.realdata_binary, args.rvmerge_binary):
+            if not os.path.exists(binary):
+                sys.exit("binary not found: %s (build Release first)" %
+                         binary)
+        # Strict campaign/cache flag parsing: each of these must exit 2
+        # (the CLI-validation convention), not 0 and not a crash.
+        for bad in (["campaign", "--plays-scale", "0"],
+                    ["campaign", "--plays-scale", "3x"],
+                    ["campaign", "--shard", "4/4"],
+                    ["campaign", "--shard", "1-4"],
+                    ["campaign", "--shard", "0/0"],
+                    ["campaign", "--spill-dir"],   # needs a directory
+                    ["campaign", "--chunk-users", "0"],
+                    ["campaign", "--watch", "0"],
+                    ["summary", "--cache-dir"]):   # needs a directory
+            proc = subprocess.run(
+                [args.realdata_binary] + bad, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL)
+            if proc.returncode != 2:
+                sys.exit("shard smoke FAILED: %r exited %d, expected the "
+                         "strict-parsing exit code 2" %
+                         (bad, proc.returncode))
+        scratch = tempfile.mkdtemp(prefix="rv_shard_smoke_")
+        try:
+            # --cache-dir must redirect the study cache (and only that).
+            cache_dir = os.path.join(scratch, "alt_cache")
+            subprocess.run(
+                [args.realdata_binary, "summary", "--seed", str(args.seed),
+                 "--threads", "2", "--scale", "%g" % args.smoke_scale,
+                 "--cache-dir", cache_dir],
+                check=True, cwd=scratch, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL)
+            if not [f for f in os.listdir(cache_dir)
+                    if f.endswith(".cache")]:
+                sys.exit("shard smoke FAILED: --cache-dir %s holds no "
+                         ".cache file" % cache_dir)
+            if os.path.isdir(os.path.join(scratch, ".rv_cache")):
+                sys.exit("shard smoke FAILED: --cache-dir run also wrote "
+                         "the default ./.rv_cache/")
+
+            # Smoke campaign: single process vs 4 merged shards must agree
+            # byte-for-byte on both the rollup and the spill.
+            shards = 4
+            base_cmd = [args.realdata_binary, "campaign",
+                        "--seed", str(args.seed), "--threads", "2",
+                        "--scale", "%g" % args.smoke_scale,
+                        "--plays-scale", "2", "--watch", "2"]
+            whole_dir = os.path.join(scratch, "whole")
+            subprocess.run(base_cmd + ["--spill-dir", whole_dir],
+                           check=True, cwd=scratch,
+                           stdout=subprocess.DEVNULL,
+                           stderr=subprocess.DEVNULL)
+            shard_dirs = []
+            for i in range(shards):
+                shard_dir = os.path.join(scratch, "shard%d" % i)
+                subprocess.run(
+                    base_cmd + ["--shard", "%d/%d" % (i, shards),
+                                "--spill-dir", shard_dir],
+                    check=True, cwd=scratch, stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL)
+                shard_dirs.append(shard_dir)
+            merged_dir = os.path.join(scratch, "merged")
+            merge = subprocess.run(
+                [args.rvmerge_binary] + shard_dirs +
+                ["--out", merged_dir, "--report"],
+                cwd=scratch, stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT)
+            if merge.returncode != 0:
+                sys.exit("shard smoke FAILED: rvmerge exited %d:\n%s" %
+                         (merge.returncode, merge.stdout.decode()))
+            for name in ("rollup.bin", "records.spill"):
+                want = md5_file(os.path.join(whole_dir, name))
+                got = md5_file(os.path.join(merged_dir, name))
+                if want != got:
+                    sys.exit("shard smoke FAILED: merged %s md5 %s != "
+                             "single-process %s — the %d-shard merge is "
+                             "not byte-identical" % (name, got, want,
+                                                     shards))
+            # A missing middle shard must be a hard merge error.
+            gap = subprocess.run(
+                [args.rvmerge_binary, shard_dirs[0], shard_dirs[2],
+                 "--out", os.path.join(scratch, "gap")],
+                cwd=scratch, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL)
+            if gap.returncode == 0:
+                sys.exit("shard smoke FAILED: merging shards 0 and 2 "
+                         "without 1 exited 0; contiguity is not enforced")
+            print("shard smoke passed: %d-shard merge byte-identical to "
+                  "single process (rollup md5 %s, spill md5 %s), gap "
+                  "merge rejected, strict flags exit 2" %
+                  (shards, md5_file(os.path.join(merged_dir, "rollup.bin")),
+                   md5_file(os.path.join(merged_dir, "records.spill"))))
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        return
+
+    if args.campaign:
+        if not os.path.exists(args.realdata_binary):
+            sys.exit("realdata binary not found: %s (build Release first)" %
+                     args.realdata_binary)
+        scratch = tempfile.mkdtemp(prefix="rv_campaign_")
+        try:
+            cmd = [args.realdata_binary, "campaign",
+                   "--seed", str(args.seed),
+                   "--threads", str(args.threads),
+                   "--plays-scale", str(args.campaign_scale),
+                   "--watch", "%g" % args.campaign_watch]
+            print("running campaign (plays-scale=%d, watch=%gs, "
+                  "threads=%d)..." % (args.campaign_scale,
+                                      args.campaign_watch, args.threads),
+                  file=sys.stderr)
+            t0 = time.monotonic()
+            rc, out, peak_rss_kb = run_traced(cmd, cwd=scratch, capture=True)
+            wall = time.monotonic() - t0
+            if rc != 0:
+                sys.exit("campaign FAILED: realdata campaign exited %d:\n%s"
+                         % (rc, out))
+            plays = threads = None
+            plays_per_sec_per_core = None
+            for line in out.splitlines():
+                if line.startswith("campaign:") and " plays over " in line:
+                    tail = line.split(": ", 2)[-1]
+                    plays = int(tail.split(" plays over ")[0])
+                if line.startswith("throughput:"):
+                    plays_per_sec_per_core = float(line.split()[1])
+                    threads = int(line.split("(")[1].split("s wall, ")[1]
+                                  .split(" thread")[0])
+            if plays is None or plays_per_sec_per_core is None:
+                sys.exit("campaign FAILED: could not parse realdata "
+                         "campaign output:\n%s" % out)
+            print(out)
+            print("campaign: %d plays in %.0fs wall, %.1f plays/s/core, "
+                  "peak rss %d KiB" % (plays, wall,
+                                       plays_per_sec_per_core, peak_rss_kb))
+            doc = json.load(open(args.baseline)) if os.path.exists(
+                args.baseline) else {}
+            doc["campaign"] = {
+                "seed": args.seed,
+                "plays_scale": args.campaign_scale,
+                "watch_seconds": args.campaign_watch,
+                "threads": threads,
+                "plays": plays,
+                "wall_seconds": round(wall, 1),
+                "plays_per_sec_per_core": plays_per_sec_per_core,
+                "peak_rss_kb": peak_rss_kb,
+            }
+            with open(args.baseline, "w") as f:
+                json.dump(doc, f, indent=2, sort_keys=True)
+                f.write("\n")
+            print("wrote campaign section to %s" % args.baseline)
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        return
+
     if args.cc_grid:
         if not os.path.exists(args.cc_bench_binary):
             sys.exit("cc bench binary not found: %s (build Release first)" %
@@ -638,6 +858,7 @@ def main():
             sweep = [int(t) for t in args.threads_sweep.split(",") if t]
         scaling = {}
         digests = {}
+        peak_rss_kb = 0
         runs = max(1, args.scaling_runs) if args.threads_sweep else 1
         for threads in sweep:
             best = None
@@ -645,8 +866,9 @@ def main():
                 print("running full study (seed=%d, threads=%d, run %d/%d)"
                       "..." % (args.seed, threads, rep + 1, runs),
                       file=sys.stderr)
-                wall, digest = run_study(args.realdata_binary, args.seed,
-                                         threads)
+                wall, digest, rss_kb = run_study(args.realdata_binary,
+                                                 args.seed, threads)
+                peak_rss_kb = max(peak_rss_kb, rss_kb)
                 if threads in digests and digests[threads] != digest:
                     sys.exit("FATAL: cache md5 differs between repeat runs "
                              "at threads=%d" % threads)
@@ -664,6 +886,7 @@ def main():
                                              scaling[sweep[0]]),
                  "cache_md5": digests[sweep[0]],
                  "cache_md5s": {str(t): digests[t] for t in sweep},
+                 "peak_rss_kb": peak_rss_kb,
                  "runs_per_point": runs}
 
     for name in TRACKED + [CALIBRATION]:
@@ -672,8 +895,9 @@ def main():
     for k, v in sorted(derived.items()):
         print("%-32s %12.1f" % (k, v))
     if study:
-        print("study wall %.1fs  cache md5 %s" %
-              (study["wall_seconds"], study["cache_md5"]))
+        print("study wall %.1fs  peak rss %d KiB  cache md5 %s" %
+              (study["wall_seconds"], study["peak_rss_kb"],
+               study["cache_md5"]))
         if scaling and len(scaling) > 1:
             base = scaling[max(scaling)]
             for t in sorted(scaling):
@@ -707,6 +931,19 @@ def main():
                 failures.append(
                     "study output changed: cache md5 %s != committed %s" %
                     (study["cache_md5"], want))
+            # Peak RSS does not scale with CPU speed, so it is compared
+            # without the calibration rescale, under its own (looser)
+            # tolerance: a memory regression on a study run means the
+            # streaming/arena discipline broke somewhere.
+            want_rss = committed_study.get("peak_rss_kb")
+            if want_rss and study["peak_rss_kb"] > 0:
+                allowed_rss = want_rss * (1.0 + args.rss_tolerance)
+                if study["peak_rss_kb"] > allowed_rss:
+                    failures.append(
+                        "study peak RSS: %d KiB > allowed %.0f KiB "
+                        "(committed %d KiB x %.0f%% tolerance)" %
+                        (study["peak_rss_kb"], allowed_rss, want_rss,
+                         (1.0 + args.rss_tolerance) * 100))
             # Wall time is NOT thread-invariant: only gate a measured run
             # against the committed number for the same thread count.
             committed_scaling = committed_study.get("scaling", {})
@@ -747,6 +984,7 @@ def main():
                 "seed": study["seed"], "threads": study["threads"],
                 "after_wall_seconds": study["wall_seconds"],
                 "cache_md5": study["cache_md5"],
+                "peak_rss_kb": study["peak_rss_kb"],
             })
             if "before_wall_seconds" in doc["study"]:
                 before = doc["study"]["before_wall_seconds"]

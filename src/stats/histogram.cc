@@ -49,6 +49,12 @@ void MergeableHistogram::add(double x, std::uint64_t weight) {
   total_ += weight;
 }
 
+void MergeableHistogram::add_bin(std::size_t bin, std::uint64_t weight) {
+  RV_CHECK_LT(bin, counts_.size());
+  counts_[bin] += weight;
+  total_ += weight;
+}
+
 void MergeableHistogram::merge(const MergeableHistogram& other) {
   RV_CHECK(same_geometry(other))
       << "merging histograms with different geometry: [" << lo_ << ", " << hi_

@@ -42,6 +42,9 @@ class MergeableHistogram {
   MergeableHistogram(double lo, double hi, std::size_t bins);
 
   void add(double x, std::uint64_t weight = 1);
+  // Adds `weight` directly to `bin` (bounds-checked) — the deserialization
+  // path for shard-rollup files, which carry bin indices, not sample values.
+  void add_bin(std::size_t bin, std::uint64_t weight);
   // Requires identical geometry (checked).
   void merge(const MergeableHistogram& other);
 

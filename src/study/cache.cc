@@ -1,6 +1,7 @@
 #include "study/cache.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "util/check.h"
@@ -12,6 +13,9 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x52565354;  // "RVST"
 constexpr std::uint32_t kVersion = 7;
+
+// Where cache files live unless the caller overrides (--cache-dir).
+constexpr const char* kDefaultCacheDir = "./.rv_cache";
 
 // --- primitive IO ---------------------------------------------------------
 
@@ -134,11 +138,13 @@ std::uint64_t config_fingerprint(const StudyConfig& config) {
   return util::stable_hash(dump);
 }
 
-std::string default_cache_path(const StudyConfig& config) {
+std::string default_cache_path(const StudyConfig& config,
+                               const std::string& cache_dir) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "rv_study_%016llx.cache",
                 static_cast<unsigned long long>(config_fingerprint(config)));
-  return buf;
+  const std::string& dir = cache_dir.empty() ? kDefaultCacheDir : cache_dir;
+  return dir + "/" + buf;
 }
 
 bool save_result(const std::string& path, const StudyConfig& config,
@@ -220,31 +226,46 @@ std::optional<StudyResult> load_result(const std::string& path,
   std::uint32_t n_records = 0;
   if (!get(is, n_records) || n_records > 1'000'000) return std::nullopt;
   result.records.resize(n_records);
+  // Record naming fields are pooled Symbols: decode into scratch strings,
+  // then intern. The serialized bytes are unchanged from the std::string
+  // era, so pinned cache md5s survive the interning.
+  std::string country, us_state, pc_class, server_name, server_country;
   for (auto& r : result.records) {
     std::uint64_t site = 0;
-    if (!(get(is, r.user_id) && get_string(is, r.country) &&
-          get_string(is, r.us_state) && get(is, r.user_group) &&
-          get(is, r.connection) && get_string(is, r.pc_class) &&
+    if (!(get(is, r.user_id) && get_string(is, country) &&
+          get_string(is, us_state) && get(is, r.user_group) &&
+          get(is, r.connection) && get_string(is, pc_class) &&
           get(is, r.rtsp_blocked_user) && get(is, r.clip_id) &&
-          get(is, site) && get_string(is, r.server_name) &&
-          get_string(is, r.server_country) && get(is, r.server_group) &&
+          get(is, site) && get_string(is, server_name) &&
+          get_string(is, server_country) && get(is, r.server_group) &&
           get(is, r.available) && get_stats(is, r.stats) &&
           get(is, r.rating))) {
       return std::nullopt;
     }
+    r.country = country;
+    r.us_state = us_state;
+    r.pc_class = pc_class;
+    r.server_name = server_name;
+    r.server_country = server_country;
     r.site = site;
   }
   return result;
 }
 
-StudyResult run_study_cached(const StudyConfig& config, bool force_run) {
-  const std::string path = default_cache_path(config);
+StudyResult run_study_cached(const StudyConfig& config, bool force_run,
+                             const std::string& cache_dir) {
+  const std::string path = default_cache_path(config, cache_dir);
   if (!force_run) {
     if (auto cached = load_result(path, config)) {
       return std::move(*cached);
     }
   }
   StudyResult result = run_study(config);
+  // Cache files live in a dedicated directory (never the repo root); create
+  // it on demand so a fresh checkout works without setup.
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path(), ec);
   save_result(path, config, result);
   return result;
 }

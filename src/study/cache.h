@@ -15,8 +15,11 @@ namespace rv::study {
 // A stable hash of every config field that affects the records.
 std::uint64_t config_fingerprint(const StudyConfig& config);
 
-// Default cache path for a config (in the current working directory).
-std::string default_cache_path(const StudyConfig& config);
+// Cache path for a config inside `cache_dir` (empty = the default
+// `./.rv_cache`). The file name is keyed by the config fingerprint; only
+// the directory moved — cache bytes are unchanged, so pinned md5s survive.
+std::string default_cache_path(const StudyConfig& config,
+                               const std::string& cache_dir = std::string());
 
 bool save_result(const std::string& path, const StudyConfig& config,
                  const StudyResult& result);
@@ -28,8 +31,10 @@ std::optional<StudyResult> load_result(const std::string& path,
 // saves. Benches call this. `force_run` skips the load (but still saves):
 // needed when callers want fresh in-memory-only state — e.g. per-play
 // traces, which a cache hit cannot supply because they are never
-// serialized. The saved bytes are identical either way.
-StudyResult run_study_cached(const StudyConfig& config,
-                             bool force_run = false);
+// serialized. The saved bytes are identical either way. `cache_dir`
+// overrides where cache files live (empty = `./.rv_cache`, created on
+// demand).
+StudyResult run_study_cached(const StudyConfig& config, bool force_run = false,
+                             const std::string& cache_dir = std::string());
 
 }  // namespace rv::study

@@ -14,14 +14,6 @@
 namespace rv::study {
 namespace {
 
-// Sketch geometries for the sample-level rollups. Fixed bins keep every
-// per-play sketch mergeable with every other (stats::MergeableHistogram
-// requires identical geometry) and bound memory regardless of play count.
-constexpr double kFpsLo = 0.0, kFpsHi = 60.0;
-constexpr std::size_t kFpsBins = 120;
-constexpr double kBwLo = 0.0, kBwHi = 2000.0;  // kbps
-constexpr std::size_t kBwBins = 200;
-
 std::string pad_left(const std::string& s, std::size_t width) {
   return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
 }
@@ -37,11 +29,6 @@ std::string quantile_triplet(const stats::MergeableHistogram& h,
                        util::format_double(h.quantile(0.95), decimals), "/",
                        util::format_double(h.quantile(0.99), decimals));
 }
-
-struct GroupSketch {
-  stats::MergeableHistogram fps{kFpsLo, kFpsHi, kFpsBins};
-  stats::MergeableHistogram bw{kBwLo, kBwHi, kBwBins};
-};
 
 void append_group_section(std::string& out, const std::string& title,
                           const std::map<std::string, GroupSketch>& groups) {
@@ -92,7 +79,7 @@ int write_flight_records(const std::string& dir, const StudyResult& result,
     info.meta.emplace_back("user_id", std::to_string(rec.user_id));
     info.meta.emplace_back("record_slot", std::to_string(slot));
     info.meta.emplace_back("clip_id", std::to_string(rec.clip_id));
-    info.meta.emplace_back("server", util::json_quote(rec.server_name));
+    info.meta.emplace_back("server", util::json_quote(rec.server_name.str()));
     info.meta.emplace_back(
         "connection",
         util::json_quote(world::connection_class_name(rec.connection)));
@@ -115,52 +102,54 @@ int write_flight_records(const std::string& dir, const StudyResult& result,
   return written;
 }
 
-std::map<std::string, std::vector<int>> bottleneck_table(
-    const StudyResult& result) {
-  std::map<std::string, std::vector<int>> table;
-  for (const auto& rec : result.records) {
-    if (!rec.series.enabled || rec.series.data.empty()) continue;
-    const int link = telemetry::bottleneck_link(rec.series.data);
-    if (link < 0) continue;
-    auto& row =
-        table[std::string(world::connection_class_name(rec.connection))];
+void TelemetryRollup::fold(const tracer::TraceRecord& rec) {
+  if (!rec.series.enabled || rec.series.data.empty()) return;
+  const telemetry::Series& s = rec.series.data;
+  // Per-play sketches merged upward — the mergeable path the sharded
+  // campaign uses, and the one stats_test pins associativity for.
+  GroupSketch play;
+  for (const double v : s.fps) play.fps.add(v);
+  for (const double v : s.bandwidth_kbps) play.bw.add(v);
+  const std::string cls(world::connection_class_name(rec.connection));
+  by_class.try_emplace(cls).first->second.merge(play);
+  by_region
+      .try_emplace(std::string(world::user_region_group_name(rec.user_group)))
+      .first->second.merge(play);
+  by_server.try_emplace(rec.server_name).first->second.merge(play);
+  ++plays;
+  samples += s.size();
+
+  const int link = telemetry::bottleneck_link(s);
+  if (link >= 0) {
+    auto& row = bottleneck[cls];
     if (row.empty()) row.assign(world::PlayPath::kLinkCount, 0);
     if (static_cast<std::size_t>(link) < row.size()) ++row[link];
   }
-  return table;
 }
 
-std::string telemetry_report(const StudyResult& result) {
-  std::map<std::string, GroupSketch> by_class;
-  std::map<std::string, GroupSketch> by_region;
-  std::map<std::string, GroupSketch> by_server;
-  std::size_t plays = 0, samples = 0;
-  for (const auto& rec : result.records) {
-    if (!rec.series.enabled || rec.series.data.empty()) continue;
-    const telemetry::Series& s = rec.series.data;
-    // Per-play sketches merged upward — the mergeable path a sharded
-    // aggregator would use, and the one stats_test pins associativity for.
-    GroupSketch play;
-    for (const double v : s.fps) play.fps.add(v);
-    for (const double v : s.bandwidth_kbps) play.bw.add(v);
-    for (auto* groups : {&by_class, &by_region, &by_server}) {
-      std::string key;
-      if (groups == &by_class) {
-        key = std::string(world::connection_class_name(rec.connection));
-      } else if (groups == &by_region) {
-        key = std::string(world::user_region_group_name(rec.user_group));
-      } else {
-        key = rec.server_name;
-      }
-      const auto it = groups->try_emplace(key).first;
-      it->second.fps.merge(play.fps);
-      it->second.bw.merge(play.bw);
+void TelemetryRollup::merge(const TelemetryRollup& other) {
+  plays += other.plays;
+  samples += other.samples;
+  const auto merge_groups = [](std::map<std::string, GroupSketch>& into,
+                               const std::map<std::string, GroupSketch>& from) {
+    for (const auto& [label, sketch] : from) {
+      into.try_emplace(label).first->second.merge(sketch);
     }
-    ++plays;
-    samples += s.size();
+  };
+  merge_groups(by_class, other.by_class);
+  merge_groups(by_region, other.by_region);
+  merge_groups(by_server, other.by_server);
+  for (const auto& [label, row] : other.bottleneck) {
+    auto& into = bottleneck[label];
+    if (into.empty()) into.assign(row.size(), 0);
+    for (std::size_t l = 0; l < row.size() && l < into.size(); ++l) {
+      into[l] += row[l];
+    }
   }
-  if (plays == 0) return {};
+}
 
+std::string TelemetryRollup::render() const {
+  if (plays == 0) return {};
   std::string out = util::str_cat("Telemetry rollup: ", plays,
                                   " plays sampled, ", samples, " samples\n");
   out += util::str_cat("    ", pad_right("group", 18),
@@ -170,7 +159,6 @@ std::string telemetry_report(const StudyResult& result) {
   append_group_section(out, "user region", by_region);
   append_group_section(out, "server", by_server);
 
-  const auto bottleneck = bottleneck_table(result);
   if (!bottleneck.empty()) {
     out += "  bottleneck attribution (plays per constraining link):\n";
     out += util::str_cat("    ", pad_right("", 18));
@@ -185,6 +173,19 @@ std::string telemetry_report(const StudyResult& result) {
     }
   }
   return out;
+}
+
+std::map<std::string, std::vector<int>> bottleneck_table(
+    const StudyResult& result) {
+  TelemetryRollup rollup;
+  for (const auto& rec : result.records) rollup.fold(rec);
+  return rollup.bottleneck;
+}
+
+std::string telemetry_report(const StudyResult& result) {
+  TelemetryRollup rollup;
+  for (const auto& rec : result.records) rollup.fold(rec);
+  return rollup.render();
 }
 
 void write_series_csv(const std::string& path,

@@ -67,20 +67,30 @@ RealTracer::RealTracer(const media::Catalog& catalog,
 
 void RealTracer::plan_access_times(
     const std::vector<world::UserProfile>& users) {
+  access_plan_begin();
+  for (const auto& user : users) access_plan_add(user, /*keep_base=*/true);
+}
+
+void RealTracer::access_plan_begin() {
   if (!config_.faults.enabled || !config_.faults.mechanistic_unavailability) {
     return;
   }
   site_access_total_.assign(world::server_sites().size(), 0);
   user_site_base_.clear();
-  for (const auto& user : users) {
-    if (user.rtsp_blocked) continue;
-    const int plays =
-        std::min<int>(user.clips_to_play, static_cast<int>(catalog_.size()));
-    user_site_base_[user.id] = site_access_total_;
-    for (int i = 0; i < plays; ++i) {
-      const auto idx = static_cast<std::size_t>(i) % catalog_.size();
-      ++site_access_total_[media::Catalog::site_of(catalog_.clip(idx).id())];
-    }
+}
+
+void RealTracer::access_plan_add(const world::UserProfile& user,
+                                 bool keep_base) {
+  if (!config_.faults.enabled || !config_.faults.mechanistic_unavailability) {
+    return;
+  }
+  if (user.rtsp_blocked) return;
+  const int plays =
+      std::min<int>(user.clips_to_play, static_cast<int>(catalog_.size()));
+  if (keep_base) user_site_base_[user.id] = site_access_total_;
+  for (int i = 0; i < plays; ++i) {
+    const auto idx = static_cast<std::size_t>(i) % catalog_.size();
+    ++site_access_total_[media::Catalog::site_of(catalog_.clip(idx).id())];
   }
 }
 

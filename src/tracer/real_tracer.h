@@ -117,6 +117,16 @@ class RealTracer {
   // mechanistic unavailability is enabled.
   void plan_access_times(const std::vector<world::UserProfile>& users);
 
+  // Streaming equivalent of plan_access_times for sharded campaigns: call
+  // access_plan_begin(), feed every user of the (already play-scaled)
+  // population in id order, then plan/run as usual. Only users added with
+  // `keep_base` set get a per-user starting rank — a shard marks just its
+  // own range, so its memory stays bounded by the shard while the site
+  // totals still cover the whole campaign. Both calls are no-ops unless
+  // mechanistic unavailability is enabled.
+  void access_plan_begin();
+  void access_plan_add(const world::UserProfile& user, bool keep_base);
+
   // Runs a single play and returns its record (used by Fig 1 and the
   // ablation benches). `udp_blocked`/`force_tcp` override the user profile;
   // `play_faults` (optional) injects this play's faults.

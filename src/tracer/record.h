@@ -2,30 +2,32 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 
 #include "client/clip_stats.h"
 #include "obs/trace.h"
 #include "telemetry/series.h"
+#include "util/symbol.h"
 #include "world/types.h"
 
 namespace rv::tracer {
 
 struct TraceRecord {
-  // Who played it.
+  // Who played it. The five naming fields draw from a vocabulary of a few
+  // dozen values, so they are pooled util::Symbols: a campaign-scale record
+  // stream carries 4-byte ids instead of five heap strings per record.
   int user_id = 0;
-  std::string country;
-  std::string us_state;
+  util::Symbol country;
+  util::Symbol us_state;
   world::UserRegionGroup user_group = world::UserRegionGroup::kUsCanada;
   world::ConnectionClass connection = world::ConnectionClass::kDslCable;
-  std::string pc_class;
+  util::Symbol pc_class;
   bool rtsp_blocked_user = false;  // excluded from analysis, as in §IV
 
   // What was played, from where.
   std::uint32_t clip_id = 0;
   std::size_t site = 0;
-  std::string server_name;
-  std::string server_country;
+  util::Symbol server_name;
+  util::Symbol server_country;
   world::ServerRegionGroup server_group = world::ServerRegionGroup::kUsCanada;
 
   // Outcome.

@@ -1,6 +1,7 @@
 #include "world/users.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "client/pc_class.h"
@@ -116,53 +117,120 @@ int pick_rated(util::Rng& rng, int plays) {
   return std::min(rated, plays);
 }
 
+// Per-replica slot table: the country/state each of the 63 base-population
+// slots maps to, precomputed once by replaying the quota walk. A scaled
+// population assigns user id u the attributes of slot u % 63, so slot
+// lookup is O(1) no matter how far a shard starts into the population.
+struct Slot {
+  const CountrySpec* country;
+  const char* us_state;  // nullptr for non-U.S. slots
+  Region region;
+};
+
+constexpr std::size_t kBaseUsers = 63;
+
+const std::array<Slot, kBaseUsers>& slot_table() {
+  static const std::array<Slot, kBaseUsers> table = [] {
+    std::array<Slot, kBaseUsers> t{};
+    std::size_t slot = 0;
+    for (const auto& country : kCountries) {
+      int state_cursor = 0;
+      int state_used = 0;
+      for (int i = 0; i < country.users; ++i) {
+        RV_CHECK_LT(slot, kBaseUsers);
+        Slot s{&country, nullptr, country.region};
+        if (std::string_view(country.name) == "US") {
+          // Walk the state quota table (Fig 9), exactly as the baseline
+          // generator does.
+          while (state_used >=
+                 kUsStates[static_cast<std::size_t>(state_cursor)].users) {
+            ++state_cursor;
+            state_used = 0;
+          }
+          s.us_state = kUsStates[static_cast<std::size_t>(state_cursor)].state;
+          ++state_used;
+          if (std::string_view(s.us_state) == "CA" ||
+              std::string_view(s.us_state) == "WA") {
+            s.region = Region::kUsWest;
+          }
+        }
+        t[slot++] = s;
+      }
+    }
+    RV_CHECK_EQ(slot, kBaseUsers);
+    return t;
+  }();
+  return table;
+}
+
 }  // namespace
 
-std::vector<UserProfile> generate_population(const PopulationConfig& config) {
-  util::Rng rng(config.seed ^ 0xB0B5ull);
-  std::vector<UserProfile> users;
-  int id = 0;
-  for (const auto& country : kCountries) {
-    int state_cursor = 0;
-    int state_used = 0;
-    for (int i = 0; i < country.users; ++i) {
-      util::Rng user_rng = rng.fork(static_cast<std::uint64_t>(id) * 31 + 7);
-      UserProfile u;
-      u.id = id++;
-      u.country = country.name;
-      u.region = country.region;
-      u.group = country.group;
-      if (std::string_view(country.name) == "US") {
-        // Walk the state quota table.
-        while (state_used >=
-               kUsStates[static_cast<std::size_t>(state_cursor)].users) {
-          ++state_cursor;
-          state_used = 0;
-        }
-        u.us_state = kUsStates[static_cast<std::size_t>(state_cursor)].state;
-        ++state_used;
-        if (u.us_state == "CA" || u.us_state == "WA") {
-          u.region = Region::kUsWest;
-        }
-      }
-      u.connection = pick_connection(user_rng, country);
-      u.pc_class = pick_pc(user_rng);
-      double blocked_p = config.udp_blocked_dsl;
-      if (u.connection == ConnectionClass::kT1Lan) {
-        blocked_p = config.udp_blocked_t1;
-      } else if (u.connection == ConnectionClass::kModem56k) {
-        blocked_p = config.udp_blocked_modem;
-      }
-      u.udp_blocked = user_rng.bernoulli(blocked_p);
-      u.rtsp_blocked = user_rng.bernoulli(config.rtsp_blocked_rate);
-      u.clips_to_play = pick_plays(user_rng, country.mean_plays);
-      u.clips_to_rate = pick_rated(user_rng, u.clips_to_play);
-      u.isp_load_lo = country.isp_lo;
-      u.isp_load_hi = country.isp_hi;
-      u.seed = user_rng.next_u64();
-      users.push_back(std::move(u));
-    }
+PopulationStream::PopulationStream(const PopulationConfig& config,
+                                   std::uint64_t scale)
+    : total_(kBaseUsers * scale), rng_(config.seed ^ 0xB0B5ull) {
+  RV_CHECK_GE(scale, 1u) << "population scale must be >= 1";
+  // The per-user draws need the config's firewall knobs; keep a copy.
+  config_ = config;
+}
+
+void PopulationStream::skip(std::uint64_t n) {
+  RV_CHECK_LE(n, total_ - next_id_);
+  // Each generated user consumes exactly one parent draw (the fork), so a
+  // skipped user is one rng step — seeking a shard to user 10^6 is
+  // milliseconds, not a replay of every profile.
+  for (std::uint64_t i = 0; i < n; ++i) rng_.next_u64();
+  next_id_ += n;
+}
+
+UserProfile PopulationStream::next() {
+  RV_CHECK_LT(next_id_, total_);
+  const std::uint64_t id = next_id_++;
+  util::Rng user_rng = rng_.fork(id * 31 + 7);
+  const Slot& slot = slot_table()[id % kBaseUsers];
+  const CountrySpec& country = *slot.country;
+  UserProfile u;
+  u.id = static_cast<int>(id);
+  u.country = country.name;
+  u.region = slot.region;
+  u.group = country.group;
+  if (slot.us_state != nullptr) u.us_state = slot.us_state;
+  u.connection = pick_connection(user_rng, country);
+  u.pc_class = pick_pc(user_rng);
+  double blocked_p = config_.udp_blocked_dsl;
+  if (u.connection == ConnectionClass::kT1Lan) {
+    blocked_p = config_.udp_blocked_t1;
+  } else if (u.connection == ConnectionClass::kModem56k) {
+    blocked_p = config_.udp_blocked_modem;
   }
+  u.udp_blocked = user_rng.bernoulli(blocked_p);
+  u.rtsp_blocked = user_rng.bernoulli(config_.rtsp_blocked_rate);
+  u.clips_to_play = pick_plays(user_rng, country.mean_plays);
+  u.clips_to_rate = pick_rated(user_rng, u.clips_to_play);
+  u.isp_load_lo = country.isp_lo;
+  u.isp_load_hi = country.isp_hi;
+  u.seed = user_rng.next_u64();
+  return u;
+}
+
+std::vector<UserProfile> generate_population_range(
+    const PopulationConfig& config, std::uint64_t scale, std::uint64_t first,
+    std::uint64_t count) {
+  PopulationStream stream(config, scale);
+  RV_CHECK_LE(first, stream.size());
+  RV_CHECK_LE(count, stream.size() - first);
+  stream.skip(first);
+  std::vector<UserProfile> users;
+  users.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) users.push_back(stream.next());
+  return users;
+}
+
+std::vector<UserProfile> generate_population(const PopulationConfig& config) {
+  // The baseline 63-user study population is replica 0 of the scaled
+  // generator — one code path, so the scaled campaign can never drift from
+  // the paper reproduction.
+  std::vector<UserProfile> users =
+      generate_population_range(config, 1, 0, kBaseUsers);
   RV_CHECK_EQ(users.size(), 63u);
   return users;
 }

@@ -48,6 +48,40 @@ struct PopulationConfig {
 // Figs 7 and 9.
 std::vector<UserProfile> generate_population(const PopulationConfig& config);
 
+// Campaign-scale population synthesizer: streams `scale` replicas of the
+// paper's 63-user population (user ids replica-major: replica r owns ids
+// [63r, 63r+63), each replica re-walking the country/state quota tables).
+// Every user draws from the same single parent rng stream the baseline
+// generator uses — one parent draw per user — so replica 0 is
+// byte-identical to generate_population(), and skipping to user `first`
+// costs one cheap rng step per skipped user. This is what makes a shard
+// (a contiguous user range) independently generable yet byte-reproducible.
+class PopulationStream {
+ public:
+  PopulationStream(const PopulationConfig& config, std::uint64_t scale);
+
+  // Total users across all replicas (63 * scale).
+  std::uint64_t size() const { return total_; }
+  // Users generated or skipped so far (the id the next call will produce).
+  std::uint64_t position() const { return next_id_; }
+
+  // Advances past `n` users without materializing their profiles.
+  void skip(std::uint64_t n);
+  // Generates the next user (id == position()). Requires position() < size().
+  UserProfile next();
+
+ private:
+  std::uint64_t total_;
+  std::uint64_t next_id_ = 0;
+  util::Rng rng_;
+  PopulationConfig config_;
+};
+
+// Convenience wrapper: users [first, first+count) of the scaled population.
+std::vector<UserProfile> generate_population_range(
+    const PopulationConfig& config, std::uint64_t scale, std::uint64_t first,
+    std::uint64_t count);
+
 // Per-user access link parameters (modem sync rates vary per user).
 AccessSpec access_spec_for(ConnectionClass c, util::Rng& rng);
 

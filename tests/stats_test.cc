@@ -320,5 +320,80 @@ TEST(MergeableHistogram, QuantilesInterpolateWithinBins) {
   EXPECT_LE(h.quantile(1.0), 10.0);
 }
 
+TEST(MergeableHistogram, SixtyFourShardMergeMatchesSingleProcess) {
+  // Campaign-shaped: 64 shards each fold a slice of the same value stream;
+  // any merge order/grouping must land on the single-process histogram.
+  constexpr int kShards = 64, kPerShard = 200;
+  MergeableHistogram whole(0.0, 50.0, 80);
+  std::vector<MergeableHistogram> shards(
+      kShards, MergeableHistogram(0.0, 50.0, 80));
+  util::Rng rng(4242);
+  for (int s = 0; s < kShards; ++s) {
+    for (int i = 0; i < kPerShard; ++i) {
+      const double v = rng.uniform(-5.0, 60.0);
+      whole.add(v);
+      shards[static_cast<std::size_t>(s)].add(v);
+    }
+  }
+
+  MergeableHistogram in_order(0.0, 50.0, 80);
+  for (const auto& sh : shards) in_order.merge(sh);
+  EXPECT_EQ(in_order, whole);
+  EXPECT_EQ(in_order.total(),
+            static_cast<std::uint64_t>(kShards) * kPerShard);
+
+  // Reverse order and pairwise-tree grouping give the same bytes.
+  MergeableHistogram reversed(0.0, 50.0, 80);
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+    reversed.merge(*it);
+  }
+  EXPECT_EQ(reversed, whole);
+
+  std::vector<MergeableHistogram> level = shards;
+  while (level.size() > 1) {
+    std::vector<MergeableHistogram> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      MergeableHistogram m = level[i];
+      m.merge(level[i + 1]);
+      next.push_back(m);
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  EXPECT_EQ(level[0], whole);
+}
+
+TEST(MergeableHistogram, QuantilesStableAtHundredMillionWeight) {
+  // add_bin lets a deserialized shard carry ~1e8 total weight; quantiles
+  // must not lose precision or overflow at that count.
+  MergeableHistogram h(0.0, 100.0, 100);
+  for (std::size_t b = 0; b < 100; ++b) h.add_bin(b, 1'000'000);
+  EXPECT_EQ(h.total(), 100'000'000u);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.25), 25.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+
+  // Doubling via self-merge keeps the shape: quantiles are weight-scale
+  // invariant.
+  MergeableHistogram doubled = h;
+  doubled.merge(h);
+  EXPECT_EQ(doubled.total(), 200'000'000u);
+  EXPECT_EQ(doubled.quantile(0.5), h.quantile(0.5));
+  EXPECT_EQ(doubled.quantile(0.99), h.quantile(0.99));
+}
+
+TEST(MergeableHistogram, AddBinRejectsOutOfRangeAndMergeRejectsGeometry) {
+  MergeableHistogram h(0.0, 10.0, 10);
+  h.add_bin(9, 3);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_THROW(h.add_bin(10, 1), util::CheckError);
+
+  MergeableHistogram narrow(0.0, 10.0, 20);
+  EXPECT_THROW(h.merge(narrow), util::CheckError);
+  MergeableHistogram shifted(1.0, 10.0, 10);
+  EXPECT_THROW(h.merge(shifted), util::CheckError);
+  EXPECT_EQ(h.total(), 3u);  // failed merges leave the histogram untouched
+}
+
 }  // namespace
 }  // namespace rv::stats

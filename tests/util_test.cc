@@ -1,15 +1,20 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
+#include <map>
 #include <memory>
 #include <set>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "util/arena.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/md5.h"
 #include "util/small_vec.h"
+#include "util/symbol.h"
 #include "util/strings.h"
 #include "util/units.h"
 
@@ -454,6 +459,102 @@ TEST(JsonQuote, WrapsAndEscapes) {
   EXPECT_EQ(util::json_quote(""), "\"\"");
   EXPECT_EQ(util::json_quote("a\"b"), "\"a\\\"b\"");
   EXPECT_EQ(util::json_quote("line\nbreak"), "\"line\\nbreak\"");
+}
+
+TEST(Symbol, InterningGivesOneIdPerDistinctString) {
+  const util::Symbol a("US/CNN");
+  const util::Symbol b(std::string("US/CNN"));
+  const util::Symbol c("UK/BBC");
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_NE(a.id(), c.id());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.str(), "US/CNN");
+  EXPECT_EQ(c.str(), "UK/BBC");
+}
+
+TEST(Symbol, DefaultIsEmptyStringWithIdZero) {
+  const util::Symbol s;
+  EXPECT_EQ(s.id(), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.str(), "");
+  EXPECT_EQ(s, util::Symbol(""));
+}
+
+TEST(Symbol, ImplicitStringConversionRoundTrips) {
+  const util::Symbol s("Pentium II / 128-256");
+  const std::string& back = s;
+  EXPECT_EQ(back, "Pentium II / 128-256");
+  EXPECT_EQ(s.size(), back.size());
+  std::map<std::string, int> m;
+  m[s] = 7;  // usable as an ordered-map key via the conversion
+  EXPECT_EQ(m.count("Pentium II / 128-256"), 1u);
+}
+
+TEST(Symbol, OrderingFollowsStringOrder) {
+  const util::Symbol a("alpha"), b("beta");
+  EXPECT_LT(a, b);
+  EXPECT_FALSE(b < a);
+}
+
+TEST(Symbol, ConcurrentInterningIsConsistent) {
+  // Many threads interning overlapping vocabularies must agree on ids.
+  constexpr int kThreads = 8, kStrings = 64;
+  std::vector<std::vector<std::uint32_t>> ids(
+      kThreads, std::vector<std::uint32_t>(kStrings));
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t, &ids] {
+      for (int i = 0; i < kStrings; ++i) {
+        ids[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)] =
+            util::Symbol("concurrent-" + std::to_string(i)).id();
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[static_cast<std::size_t>(t)], ids[0]);
+  }
+  std::set<std::uint32_t> distinct(ids[0].begin(), ids[0].end());
+  EXPECT_EQ(distinct.size(), static_cast<std::size_t>(kStrings));
+}
+
+TEST(Md5, Rfc1321TestVectors) {
+  EXPECT_EQ(util::md5_hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(util::md5_hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(util::md5_hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(util::md5_hex("message digest"),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(util::md5_hex("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      util::md5_hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+                    "0123456789"),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(util::md5_hex("1234567890123456789012345678901234567890"
+                          "1234567890123456789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalUpdatesMatchOneShot) {
+  util::Md5 h;
+  h.update("mess");
+  h.update("age ");
+  h.update("digest");
+  EXPECT_EQ(h.hex_digest(), util::md5_hex("message digest"));
+}
+
+TEST(Md5, FileDigestMatchesInMemory) {
+  const std::string path = ::testing::TempDir() + "/md5_test.bin";
+  // Spans multiple 64-byte blocks and a ragged tail.
+  std::string content;
+  for (int i = 0; i < 1000; ++i) content += static_cast<char>(i % 251);
+  {
+    std::ofstream os(path, std::ios::binary);
+    os.write(content.data(), static_cast<std::streamsize>(content.size()));
+  }
+  EXPECT_EQ(util::md5_file_hex(path), util::md5_hex(content));
+  EXPECT_EQ(util::md5_file_hex(path + ".does-not-exist"), "");
 }
 
 }  // namespace

@@ -217,5 +217,78 @@ TEST(PathBuilder, EpisodesAddCrossTraffic) {
   EXPECT_GT(emitted, 100u);
 }
 
+namespace {
+bool same_profile(const UserProfile& a, const UserProfile& b) {
+  return a.id == b.id && a.country == b.country && a.us_state == b.us_state &&
+         a.region == b.region && a.group == b.group &&
+         a.connection == b.connection && a.pc_class == b.pc_class &&
+         a.udp_blocked == b.udp_blocked && a.rtsp_blocked == b.rtsp_blocked &&
+         a.clips_to_play == b.clips_to_play &&
+         a.clips_to_rate == b.clips_to_rate &&
+         a.isp_load_lo == b.isp_load_lo && a.isp_load_hi == b.isp_load_hi &&
+         a.seed == b.seed;
+}
+}  // namespace
+
+TEST(PopulationStream, ReplicaZeroMatchesGeneratePopulation) {
+  const PopulationConfig config;
+  const auto baseline = generate_population(config);
+  PopulationStream stream(config, 4);
+  EXPECT_EQ(stream.size(), baseline.size() * 4);
+  for (const auto& want : baseline) {
+    const UserProfile got = stream.next();
+    EXPECT_TRUE(same_profile(got, want)) << "user " << want.id;
+  }
+}
+
+TEST(PopulationStream, RangeMatchesSliceOfFullStream) {
+  const PopulationConfig config;
+  PopulationStream full(config, 5);
+  std::vector<UserProfile> all;
+  while (full.position() < full.size()) all.push_back(full.next());
+
+  // A mid-stream range (crossing a replica boundary) equals the slice.
+  const auto range = generate_population_range(config, 5, 100, 60);
+  ASSERT_EQ(range.size(), 60u);
+  for (std::size_t i = 0; i < range.size(); ++i) {
+    EXPECT_TRUE(same_profile(range[i], all[100 + i])) << "user " << 100 + i;
+  }
+}
+
+TEST(PopulationStream, SkipEqualsGenerateAndDiscard) {
+  const PopulationConfig config;
+  PopulationStream skipped(config, 3);
+  skipped.skip(77);
+  EXPECT_EQ(skipped.position(), 77u);
+
+  PopulationStream walked(config, 3);
+  for (int i = 0; i < 77; ++i) walked.next();
+
+  while (skipped.position() < skipped.size()) {
+    EXPECT_TRUE(same_profile(skipped.next(), walked.next()));
+  }
+  EXPECT_EQ(walked.position(), walked.size());
+}
+
+TEST(PopulationStream, ReplicasDifferButKeepDemographics) {
+  // Same slot in different replicas keeps the quota-walk demographics
+  // (country/state/region) but draws fresh per-user randomness, so
+  // connection mix, seeds, and play counts vary between replicas.
+  const PopulationConfig config;
+  PopulationStream stream(config, 2);
+  std::vector<UserProfile> users;
+  while (stream.position() < stream.size()) users.push_back(stream.next());
+  const std::size_t base = users.size() / 2;
+  bool any_seed_differs = false;
+  for (std::size_t i = 0; i < base; ++i) {
+    EXPECT_EQ(users[i].country, users[base + i].country);
+    EXPECT_EQ(users[i].us_state, users[base + i].us_state);
+    EXPECT_EQ(users[i].region, users[base + i].region);
+    EXPECT_EQ(users[base + i].id, users[i].id + static_cast<int>(base));
+    if (users[i].seed != users[base + i].seed) any_seed_differs = true;
+  }
+  EXPECT_TRUE(any_seed_differs);
+}
+
 }  // namespace
 }  // namespace rv::world

@@ -35,6 +35,7 @@
 #include "stats/summary.h"
 #include "study/analysis.h"
 #include "study/cache.h"
+#include "study/campaign.h"
 #include "study/figures.h"
 #include "study/telemetry_report.h"
 #include "transport/congestion_control.h"
@@ -250,9 +251,9 @@ int cmd_write_trace(const study::StudyResult& result,
     t.process_name =
         "user " + std::to_string(r.user_id) + " (" +
         std::string(world::connection_class_name(r.connection)) + ", " +
-        r.country + ")";
+        r.country.str() + ")";
     t.thread_name = "play " + std::to_string(tid) + " clip " +
-                    std::to_string(r.clip_id) + " " + r.server_name;
+                    std::to_string(r.clip_id) + " " + r.server_name.str();
     t.obs = &r.obs;
     t.counters = study::chrome_counter_series(r.series);
     tracks.push_back(t);
@@ -272,18 +273,130 @@ int cmd_write_trace(const study::StudyResult& result,
   return 0;
 }
 
+// Parses a strict "i/N" shard spec into (index, count). Returns false on
+// anything else (missing slash, non-integers, i >= N, N < 1).
+bool parse_shard(const std::string& spec, std::uint32_t* index,
+                 std::uint32_t* count) {
+  const auto slash = spec.find('/');
+  if (slash == std::string::npos) return false;
+  const auto i = util::parse_int(spec.substr(0, slash));
+  const auto n = util::parse_int(spec.substr(slash + 1));
+  if (!i || !n || *n < 1 || *i < 0 || *i >= *n) return false;
+  *index = static_cast<std::uint32_t>(*i);
+  *count = static_cast<std::uint32_t>(*n);
+  return true;
+}
+
+// realdata campaign: a bounded-memory scaled study shard (see
+// study/campaign.h). Unlike the other commands it never touches the study
+// cache — its output is the mergeable rollup (and optional spill), not an
+// in-memory StudyResult.
+int cmd_campaign(const study::StudyConfig& study_cfg, const util::Args& args) {
+  study::CampaignConfig cc;
+  cc.study = study_cfg;
+  const auto plays_scale = args.get_int("plays-scale", 1);
+  if (plays_scale < 1) {
+    std::cerr << "--plays-scale must be a positive integer (got "
+              << plays_scale << ")\n";
+    return 2;
+  }
+  cc.plays_scale = static_cast<std::uint64_t>(plays_scale);
+  if (const auto shard = args.get("shard")) {
+    if (!parse_shard(*shard, &cc.shard_index, &cc.shard_count)) {
+      std::cerr << "--shard expects i/N with 0 <= i < N (got '" << *shard
+                << "')\n";
+      return 2;
+    }
+  }
+  if (args.has("spill-dir")) {
+    cc.spill_dir = args.get_or("spill-dir", "");
+    if (cc.spill_dir.empty()) {
+      std::cerr << "--spill-dir requires a directory\n";
+      return 2;
+    }
+  }
+  const auto chunk_users = args.get_int("chunk-users", 63);
+  if (chunk_users < 1) {
+    std::cerr << "--chunk-users must be a positive integer (got "
+              << chunk_users << ")\n";
+    return 2;
+  }
+  cc.chunk_users = static_cast<std::uint64_t>(chunk_users);
+  const double watch = args.get_double("watch", 60.0);
+  if (args.has("watch") && !(watch > 0.0)) {
+    std::cerr << "--watch must be a positive number of seconds\n";
+    return 2;
+  }
+  cc.study.tracer.watch_duration = seconds_to_sim(watch);
+  const std::string rollup_out = args.get_or("rollup-out", "");
+  if (args.has("rollup-out") && rollup_out.empty()) {
+    std::cerr << "--rollup-out requires a file path\n";
+    return 2;
+  }
+  if (!args.errors().empty()) {
+    for (const auto& err : args.errors()) std::cerr << err << "\n";
+    return 2;
+  }
+
+  // Coarse progress to stderr (~every 5%), so multi-hour campaigns are
+  // observable without flooding the log.
+  std::uint64_t last_decile = 0;
+  cc.progress = [&last_decile](std::uint64_t plays, std::uint64_t done,
+                               std::uint64_t total) {
+    const std::uint64_t pct = total == 0 ? 100 : 100 * done / total;
+    if (pct / 5 > last_decile || done == total) {
+      last_decile = pct / 5;
+      std::cerr << "campaign: " << done << "/" << total << " users, " << plays
+                << " plays\n";
+    }
+  };
+
+  const study::CampaignResult res = study::run_campaign(cc);
+  const double per_core =
+      res.execute_seconds > 0.0
+          ? static_cast<double>(res.plays) /
+                (res.execute_seconds * res.threads)
+          : 0.0;
+  std::cout << "campaign: shard " << cc.shard_index << "/" << cc.shard_count
+            << ", scale " << cc.plays_scale << ": " << res.plays
+            << " plays over " << res.users << " users\n";
+  std::cout << "throughput: " << format_double(per_core, 1)
+            << " plays/s/core (" << format_double(res.execute_seconds, 1)
+            << " s wall, " << res.threads << " thread(s))\n";
+  std::cout << "peak rss: " << res.peak_rss_kb << " KiB\n";
+  if (!res.spill_path.empty()) {
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(res.spill_path, ec);
+    std::cout << "spill: " << res.spill_path << " ("
+              << (ec ? 0 : static_cast<std::uintmax_t>(bytes))
+              << " bytes)\nrollup: " << res.rollup_path << "\n";
+  }
+  if (!rollup_out.empty()) {
+    if (!res.rollup.save(rollup_out)) {
+      std::cerr << "cannot write rollup file: " << rollup_out << "\n";
+      return 1;
+    }
+    std::cout << "rollup: " << rollup_out << "\n";
+  }
+  std::cout << "\n" << res.rollup.render();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   if (args.positional().empty() || args.has("help")) {
     std::cout << "usage: realdata <summary|fig N|slice|users|servers|"
-                 "export DIR> [--scale X] [--seed N] [--threads N] "
-                 "[--cc reno|cubic|bbr] "
+                 "export DIR|campaign> [--scale X] [--seed N] [--threads N] "
+                 "[--cc reno|cubic|bbr] [--cache-dir DIR] "
                  "[--faults [--outage-scale X]] [--trace PATH "
                  "[--trace-play U,P]] [--telemetry] "
                  "[--telemetry-interval-ms N] [--series-csv PATH] "
-                 "[--flight-dir DIR] [--profile] [slice flags]\n";
+                 "[--flight-dir DIR] [--profile] [slice flags]\n"
+                 "       realdata campaign [--plays-scale N] [--shard i/N] "
+                 "[--spill-dir DIR] [--rollup-out PATH] [--chunk-users N] "
+                 "[--watch SEC]\n";
     return args.has("help") ? 0 : 1;
   }
 
@@ -358,6 +471,21 @@ int main(int argc, char** argv) {
   const bool want_profile = args.has("profile");
   config.profile = want_profile;
 
+  const std::string cache_dir = args.get_or("cache-dir", "");
+  if (args.has("cache-dir") && cache_dir.empty()) {
+    std::cerr << "--cache-dir requires a directory\n";
+    return 2;
+  }
+
+  if (args.positional()[0] == "campaign") {
+    try {
+      return cmd_campaign(config, args);
+    } catch (const std::exception& e) {
+      std::cerr << "campaign failed: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
   if (!args.errors().empty()) {
     for (const auto& err : args.errors()) std::cerr << err << "\n";
     return 2;
@@ -367,7 +495,8 @@ int main(int argc, char** argv) {
   // contents.
   const bool force_run = want_trace || want_telemetry || want_profile ||
                          config.tracer.obs.enabled;
-  const study::StudyResult result = study::run_study_cached(config, force_run);
+  const study::StudyResult result =
+      study::run_study_cached(config, force_run, cache_dir);
   if (want_trace) {
     const int rc = cmd_write_trace(result, trace_path);
     if (rc != 0) return rc;

@@ -10,6 +10,11 @@
 //            [--live] [--watch <seconds>] [--seed <n>] [--samples]
 //            [--trace <path>] [--telemetry] [--telemetry-interval-ms <n>]
 //            [--series-csv <path>]
+//   retracer --spill-read <path> [--spill-record <k>]
+//
+// --spill-read seeks record k out of a campaign spill file (see
+// docs/DESIGN.md on the columnar format) and prints it — the random-access
+// path over spilled records.
 //
 // --trace writes the play's event trace as Chrome trace_event JSON (load in
 // chrome://tracing or ui.perfetto.dev; see docs/OBSERVABILITY.md).
@@ -25,6 +30,7 @@
 #include <iostream>
 
 #include "obs/chrome_trace.h"
+#include "study/spill.h"
 #include "study/study.h"
 #include "study/telemetry_report.h"
 #include "tracer/real_tracer.h"
@@ -70,7 +76,72 @@ int main(int argc, char** argv) {
                  " [--cc reno|cubic|bbr]"
                  " [--live] [--watch <sec>] [--seed <n>] [--samples]"
                  " [--trace <path>] [--telemetry]"
-                 " [--telemetry-interval-ms <n>] [--series-csv <path>]\n";
+                 " [--telemetry-interval-ms <n>] [--series-csv <path>]\n"
+                 "       retracer --spill-read <path> [--spill-record <k>]\n";
+    return 0;
+  }
+
+  if (args.has("spill-read")) {
+    const std::string spill_path = args.get_or("spill-read", "");
+    if (spill_path.empty()) {
+      std::cerr << "--spill-read requires a file path\n";
+      return 2;
+    }
+    const auto record_index = args.get_int("spill-record", 0);
+    if (record_index < 0) {
+      std::cerr << "--spill-record must be a non-negative integer (got "
+                << record_index << ")\n";
+      return 2;
+    }
+    if (!args.errors().empty()) {
+      for (const auto& err : args.errors()) std::cerr << err << "\n";
+      return 2;
+    }
+    study::SpillReader reader;
+    if (!reader.open(spill_path)) {
+      std::cerr << reader.error() << "\n";
+      return 1;
+    }
+    if (static_cast<std::uint64_t>(record_index) >= reader.records()) {
+      std::cerr << "--spill-record " << record_index << " out of range ("
+                << reader.records() << " records in " << spill_path << ")\n";
+      return 2;
+    }
+    tracer::TraceRecord rec;
+    if (!reader.read_record(static_cast<std::uint64_t>(record_index), rec)) {
+      std::cerr << "corrupt spill frame in " << spill_path << "\n";
+      return 1;
+    }
+    using util::format_double;
+    std::cout << "spill:       " << spill_path << " (" << reader.records()
+              << " records, " << reader.frames() << " frames)\n";
+    std::cout << "record:      #" << record_index << " user " << rec.user_id
+              << " clip " << rec.clip_id << " via " << rec.server_name << " ("
+              << rec.server_country << ")\n";
+    std::cout << "user:        " << rec.country
+              << (rec.us_state.empty() ? "" : "/") << rec.us_state << ", "
+              << world::connection_class_name(rec.connection) << ", "
+              << rec.pc_class << "\n";
+    if (!rec.available) {
+      std::cout << "result:      clip unavailable\n";
+      return 0;
+    }
+    std::cout << "transport:   " << net::protocol_name(rec.stats.protocol)
+              << (rec.stats.fell_back_to_tcp ? " (fell back from UDP)" : "")
+              << "\n";
+    std::cout << "measured:    "
+              << format_double(to_kbps(rec.stats.measured_bandwidth), 0)
+              << " Kbps @ " << format_double(rec.stats.measured_fps, 1)
+              << " fps, jitter " << format_double(rec.stats.jitter_ms, 1)
+              << " ms\n";
+    std::cout << "frames:      " << rec.stats.frames_played << " played, "
+              << rec.stats.frames_dropped << " dropped; rebuffers "
+              << rec.stats.rebuffer_events << " ("
+              << format_double(rec.stats.rebuffer_seconds, 1) << " s); "
+              << rec.stats.samples.size() << " samples\n";
+    if (rec.rated()) {
+      std::cout << "rating:      " << format_double(rec.rating, 1) << "\n";
+    }
     return 0;
   }
 
@@ -151,7 +222,7 @@ int main(int argc, char** argv) {
         "user " + std::to_string(user.id) + " (" +
         std::string(world::connection_class_name(user.connection)) + ")";
     track.thread_name = "clip " + std::to_string(rec.clip_id) + " " +
-                        rec.server_name;
+                        rec.server_name.str();
     track.obs = &rec.obs;
     track.counters = study::chrome_counter_series(rec.series);
     if (!obs::write_chrome_trace(trace_path, {track})) {
