@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "media/catalog.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "telemetry/sampler.h"
 #include "media/frame_schedule.h"
@@ -337,6 +338,38 @@ void BM_ObsHookEnabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsHookEnabled);
+
+void BM_MetricsDisabled(benchmark::State& state) {
+  // Cost of 1000 metrics_add hooks with no registry installed — the
+  // metrics-off tax a campaign-loop call site pays (one relaxed atomic load
+  // plus a predicted-untaken branch). Gated alongside the obs/telemetry
+  // hooks by scripts/run_bench.py --obs-overhead-check.
+  obs::install_metrics(nullptr);
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      obs::metrics_add(obs::Metric::kPlaysCompleted);
+      benchmark::ClobberMemory();
+    }
+    benchmark::DoNotOptimize(obs::installed_metrics());
+  }
+}
+BENCHMARK(BM_MetricsDisabled);
+
+void BM_MetricsEnabled(benchmark::State& state) {
+  // Same loop with a live registry: one relaxed fetch_add per call. Not
+  // gated — the registry is only installed by tools — but tracked so a
+  // regression is visible.
+  obs::MetricsRegistry registry;
+  obs::install_metrics(&registry);
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      obs::metrics_add(obs::Metric::kPlaysCompleted);
+    }
+    benchmark::DoNotOptimize(registry.value(obs::Metric::kPlaysCompleted));
+  }
+  obs::install_metrics(nullptr);
+}
+BENCHMARK(BM_MetricsEnabled);
 
 void BM_SeriesSampleDisabled(benchmark::State& state) {
   // Cost of 1000 sample_if_active guards on an inactive sampler — the

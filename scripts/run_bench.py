@@ -75,6 +75,17 @@ Modes:
              error, that strict --plays-scale/--shard/--spill-dir/
              --cache-dir parsing exits 2, and that --cache-dir actually
              redirects the study cache. Needs realdata and rvmerge.
+  --status-smoke
+             cheap CI gate for live observability: check strict
+             --status-port/--status-hold-ms/--heartbeat-dir parsing exits 2
+             (including an unwritable heartbeat dir), start a smoke-scale
+             campaign with --status-port 0, poll /progress until done=true,
+             validate /metrics parses as Prometheus text exposition and
+             /healthz answers, check the final heartbeat reports done and
+             `rvmerge --status` renders it, check a synthesized dead shard
+             is reported DEAD with exit 1, and fail unless the campaign
+             rollup/spill and the study cache are byte-identical with the
+             exporter on and off. Needs realdata and rvmerge.
   --campaign
              run a full campaign (hours at the default --campaign-scale 350
              ~= 1M plays, --campaign-watch 5) and rewrite the `campaign`
@@ -94,11 +105,15 @@ import argparse
 import hashlib
 import json
 import os
+import re
 import shutil
 import subprocess
 import sys
 import tempfile
+import threading
 import time
+import urllib.error
+import urllib.request
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BENCH = os.path.join(REPO_ROOT, "build", "bench", "bench_microbench")
@@ -150,6 +165,13 @@ GUARDS_PER_SERIES_ITER = 1000
 # one guard per hop anyway folds the telemetry-off tax into the same upper
 # bound the obs hooks are held to:
 GUARD_CALLS_PER_FORWARD_ITER_8 = 800
+# Process-metrics accounting, same shape again: BM_MetricsDisabled runs this
+# many metrics_add hooks per iteration with no registry installed:
+METRIC_CALLS_PER_METRICS_ITER = 1000
+# Real metrics hooks live in the campaign chunk loop (per chunk, not per
+# packet); pricing one call per hop anyway folds the metrics-off tax into
+# the same combined <2% upper bound:
+METRIC_CALLS_PER_FORWARD_ITER_8 = 800
 
 
 def run_microbench(binary, repetitions, min_time, bench_filter=None):
@@ -246,6 +268,18 @@ def md5_file(path):
     return hashlib.md5(open(path, "rb").read()).hexdigest()
 
 
+def study_cache_md5(cwd):
+    """md5 of the single study cache file under cwd's default ./.rv_cache."""
+    cache_dir = os.path.join(cwd, ".rv_cache")
+    caches = (sorted(f for f in os.listdir(cache_dir)
+                     if f.endswith(".cache"))
+              if os.path.isdir(cache_dir) else [])
+    if len(caches) != 1:
+        raise RuntimeError("expected one .cache file under %s, got %r" %
+                           (cache_dir, caches))
+    return md5_file(os.path.join(cache_dir, caches[0]))
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bench-binary", default=DEFAULT_BENCH)
@@ -311,6 +345,10 @@ def main():
                     help="--check fails if the study's peak RSS exceeds the "
                          "committed number by more than this fraction")
     ap.add_argument("--rvmerge-binary", default=DEFAULT_RVMERGE)
+    ap.add_argument("--status-smoke", action="store_true",
+                    help="strict status-flag parsing, live /metrics and "
+                         "/progress endpoints, heartbeats + rvmerge "
+                         "--status, and exporter-on/off byte identity")
     ap.add_argument("--shard-smoke", action="store_true",
                     help="run a smoke-scale campaign single-process and as "
                          "4 merged shards; fail unless the merged rollup "
@@ -422,14 +460,7 @@ def main():
                 subprocess.run(cmd, check=True, cwd=scratch,
                                stdout=subprocess.DEVNULL,
                                stderr=subprocess.DEVNULL)
-                caches = sorted(f for f in os.listdir(scratch)
-                                if f.endswith(".cache"))
-                if len(caches) != 1:
-                    raise RuntimeError(
-                        "expected one .cache file, got %r" % caches)
-                digests[traced] = hashlib.md5(open(
-                    os.path.join(scratch, caches[0]), "rb").read()
-                ).hexdigest()
+                digests[traced] = study_cache_md5(scratch)
                 if traced:
                     trace_doc = json.load(
                         open(os.path.join(scratch, "trace.json")))
@@ -491,14 +522,7 @@ def main():
                 out = subprocess.run(
                     cmd, check=True, cwd=scratch, stdout=subprocess.PIPE,
                     stderr=subprocess.DEVNULL).stdout.decode()
-                caches = sorted(f for f in os.listdir(scratch)
-                                if f.endswith(".cache"))
-                if len(caches) != 1:
-                    raise RuntimeError(
-                        "expected one .cache file, got %r" % caches)
-                digests[mode] = hashlib.md5(open(
-                    os.path.join(scratch, caches[0]), "rb").read()
-                ).hexdigest()
+                digests[mode] = study_cache_md5(scratch)
                 if mode != "off":
                     series_bytes[mode] = open(
                         os.path.join(scratch, "series_%s.csv" % mode),
@@ -572,7 +596,11 @@ def main():
             digests = {}
             for cc in (None, "reno"):
                 for f in os.listdir(scratch):
-                    os.unlink(os.path.join(scratch, f))
+                    path = os.path.join(scratch, f)
+                    if os.path.isdir(path):
+                        shutil.rmtree(path)
+                    else:
+                        os.unlink(path)
                 cmd = [args.realdata_binary, "summary",
                        "--seed", str(args.seed), "--threads", "2",
                        "--scale", "%g" % args.smoke_scale]
@@ -581,14 +609,7 @@ def main():
                 subprocess.run(cmd, check=True, cwd=scratch,
                                stdout=subprocess.DEVNULL,
                                stderr=subprocess.DEVNULL)
-                caches = sorted(f for f in os.listdir(scratch)
-                                if f.endswith(".cache"))
-                if len(caches) != 1:
-                    raise RuntimeError(
-                        "expected one .cache file, got %r" % caches)
-                digests[cc] = hashlib.md5(open(
-                    os.path.join(scratch, caches[0]), "rb").read()
-                ).hexdigest()
+                digests[cc] = study_cache_md5(scratch)
             if digests[None] != digests["reno"]:
                 sys.exit("cc smoke FAILED: --cc reno cache md5 %s != "
                          "default %s — the CC seam perturbed the study" %
@@ -722,6 +743,244 @@ def main():
             shutil.rmtree(scratch, ignore_errors=True)
         return
 
+    if args.status_smoke:
+        for binary in (args.realdata_binary, args.rvmerge_binary):
+            if not os.path.exists(binary):
+                sys.exit("binary not found: %s (build Release first)" %
+                         binary)
+        # Strict observability-flag parsing: exit 2, the CLI convention.
+        for bad in (["summary", "--status-port", "70000"],
+                    ["summary", "--status-port", "abc"],
+                    ["summary", "--status-port"],      # needs a value
+                    ["summary", "--status-port=0", "--status-hold-ms=-5"],
+                    ["campaign", "--heartbeat-dir"],   # needs a directory
+                    ["--status"]):                     # rvmerge: needs a dir
+            binary = (args.rvmerge_binary if bad[0].startswith("--status")
+                      else args.realdata_binary)
+            proc = subprocess.run(
+                [binary] + bad, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL)
+            if proc.returncode != 2:
+                sys.exit("status smoke FAILED: %r exited %d, expected the "
+                         "strict-parsing exit code 2" %
+                         (bad, proc.returncode))
+        scratch = tempfile.mkdtemp(prefix="rv_status_smoke_")
+        try:
+            # An unwritable --heartbeat-dir must fail fast with exit 2.
+            blocker = os.path.join(scratch, "blocker")
+            with open(blocker, "w") as f:
+                f.write("not a directory\n")
+            proc = subprocess.run(
+                [args.realdata_binary, "campaign", "--scale", "0.01",
+                 "--heartbeat-dir", os.path.join(blocker, "hb")],
+                cwd=scratch, stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL)
+            if proc.returncode != 2:
+                sys.exit("status smoke FAILED: unwritable --heartbeat-dir "
+                         "exited %d, expected 2" % proc.returncode)
+
+            # Live campaign with the exporter: poll /progress to completion,
+            # then validate /metrics and /healthz during --status-hold-ms.
+            base_cmd = [args.realdata_binary, "campaign",
+                        "--seed", str(args.seed), "--threads", "2",
+                        "--scale", "%g" % args.smoke_scale,
+                        "--plays-scale", "2", "--watch", "2"]
+            hb_dir = os.path.join(scratch, "hb")
+            spill_on = os.path.join(scratch, "spill_on")
+            child = subprocess.Popen(
+                base_cmd + ["--spill-dir", spill_on, "--status-port", "0",
+                            "--status-hold-ms", "4000",
+                            "--heartbeat-dir", hb_dir],
+                cwd=scratch, stdout=subprocess.DEVNULL,
+                stderr=subprocess.PIPE, text=True)
+            stderr_lines = []
+            port_box = {}
+            port_seen = threading.Event()
+
+            def drain():
+                for line in child.stderr:
+                    stderr_lines.append(line)
+                    m = re.search(r"http://127\.0\.0\.1:(\d+)/", line)
+                    if m and "port" not in port_box:
+                        port_box["port"] = int(m.group(1))
+                        port_seen.set()
+                port_seen.set()
+
+            drainer = threading.Thread(target=drain)
+            drainer.start()
+            port_seen.wait(30)
+            if "port" not in port_box:
+                child.kill()
+                drainer.join()
+                sys.exit("status smoke FAILED: realdata never announced a "
+                         "status port on stderr:\n%s" % "".join(stderr_lines))
+            port = port_box["port"]
+
+            def fetch(path):
+                url = "http://127.0.0.1:%d%s" % (port, path)
+                with urllib.request.urlopen(url, timeout=5) as resp:
+                    return (resp.status,
+                            resp.headers.get("Content-Type", ""),
+                            resp.read().decode())
+
+            progress = None
+            ctype = ""
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                try:
+                    _, ctype, body = fetch("/progress")
+                except (urllib.error.URLError, OSError, ConnectionError):
+                    time.sleep(0.1)
+                    continue
+                progress = json.loads(body)
+                if progress.get("done"):
+                    break
+                time.sleep(0.2)
+            if not progress or not progress.get("done"):
+                child.kill()
+                drainer.join()
+                sys.exit("status smoke FAILED: /progress never reported "
+                         "done=true (last: %r)" % (progress,))
+            if "application/json" not in ctype:
+                sys.exit("status smoke FAILED: /progress content-type %r" %
+                         ctype)
+            for key in ("plays", "users_done", "users_total",
+                        "plays_per_sec", "eta_seconds", "shard_index",
+                        "rss_kb"):
+                if key not in progress:
+                    sys.exit("status smoke FAILED: /progress is missing "
+                             "%r: %r" % (key, progress))
+
+            _, ctype, metrics_text = fetch("/metrics")
+            if "text/plain" not in ctype or "version=0.0.4" not in ctype:
+                sys.exit("status smoke FAILED: /metrics content-type %r" %
+                         ctype)
+            # Every non-comment line must be `name[{labels}] value` — the
+            # Prometheus text exposition sample shape.
+            sample_re = re.compile(
+                r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? "
+                r"(NaN|[+-]?Inf|[-+0-9.eE]+)$")
+            for i, line in enumerate(metrics_text.splitlines()):
+                if not line or line.startswith("#"):
+                    continue
+                if not sample_re.match(line):
+                    sys.exit("status smoke FAILED: /metrics line %d does "
+                             "not parse: %r" % (i + 1, line))
+            for family in ("rv_plays_completed_total",
+                           "rv_users_completed_total",
+                           "rv_spill_bytes_written_total",
+                           "rv_play_fps_bucket",
+                           "rv_resident_memory_kilobytes"):
+                if family not in metrics_text:
+                    sys.exit("status smoke FAILED: /metrics is missing the "
+                             "%s family" % family)
+            _, _, health = fetch("/healthz")
+            if "ok" not in health:
+                sys.exit("status smoke FAILED: /healthz answered %r" %
+                         health)
+
+            child.wait(timeout=120)
+            drainer.join()
+            if child.returncode != 0:
+                sys.exit("status smoke FAILED: campaign exited %d:\n%s" %
+                         (child.returncode, "".join(stderr_lines)))
+            # The stderr progress line must carry the same rate/ETA feed.
+            if not any("plays/s" in line for line in stderr_lines):
+                sys.exit("status smoke FAILED: stderr progress line has no "
+                         "plays/s rate:\n%s" % "".join(stderr_lines))
+
+            # Final heartbeat says done; rvmerge --status agrees (exit 0).
+            hb_doc = json.load(open(os.path.join(hb_dir,
+                                                 "heartbeat-0.json")))
+            if hb_doc.get("status") != "done":
+                sys.exit("status smoke FAILED: final heartbeat status %r" %
+                         hb_doc.get("status"))
+            status_run = subprocess.run(
+                [args.rvmerge_binary, "--status", hb_dir],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+            if status_run.returncode != 0 or "done" not in status_run.stdout:
+                sys.exit("status smoke FAILED: rvmerge --status exited %d:"
+                         "\n%s" % (status_run.returncode, status_run.stdout))
+
+            # A deliberately dead shard (ancient heartbeat, no such pid)
+            # must render DEAD / need-attention with exit 1.
+            dead_dir = os.path.join(scratch, "hb_dead")
+            os.makedirs(dead_dir)
+
+            def hb_json(i, n, pid, ts, status):
+                return ('{"schema":"rv-heartbeat-v1","shard_index":%d,'
+                        '"shard_count":%d,"pid":%d,"timestamp_unix":%.1f,'
+                        '"status":"%s","users_done":5,"users_total":10,'
+                        '"plays":50,"last_fold_user":5,"plays_per_sec":1.5,'
+                        '"rss_kb":1000,"seed":%d}\n' %
+                        (i, n, pid, ts, status, args.seed))
+
+            now = time.time()
+            with open(os.path.join(dead_dir, "heartbeat-0.json"), "w") as f:
+                f.write(hb_json(0, 2, os.getpid(), now, "running"))
+            with open(os.path.join(dead_dir, "heartbeat-1.json"), "w") as f:
+                f.write(hb_json(1, 2, 2 ** 22 + 12345, now - 3600,
+                                "running"))
+            dead_run = subprocess.run(
+                [args.rvmerge_binary, "--status", dead_dir,
+                 "--stale-after", "15"],
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+            if (dead_run.returncode != 1 or "DEAD" not in dead_run.stdout or
+                    "need attention" not in dead_run.stdout):
+                sys.exit("status smoke FAILED: dead shard not reported "
+                         "(exit %d):\n%s" % (dead_run.returncode,
+                                             dead_run.stdout))
+
+            # Byte identity: the same campaign without any status flags must
+            # produce identical rollup and spill bytes.
+            spill_off = os.path.join(scratch, "spill_off")
+            subprocess.run(base_cmd + ["--spill-dir", spill_off],
+                           check=True, cwd=scratch,
+                           stdout=subprocess.DEVNULL,
+                           stderr=subprocess.DEVNULL)
+            for name in ("rollup.bin", "records.spill"):
+                want = md5_file(os.path.join(spill_off, name))
+                got = md5_file(os.path.join(spill_on, name))
+                if want != got:
+                    sys.exit("status smoke FAILED: %s md5 %s with exporter "
+                             "!= %s without — the exporter leaked into the "
+                             "deterministic output" % (name, got, want))
+
+            # Same for the study cache, at 1 and 2 threads.
+            digests = {}
+            for mode, extra in (("off", []),
+                                ("on", ["--status-port", "0"])):
+                for threads in ("1", "2"):
+                    cache_dir = os.path.join(scratch,
+                                             "cache_%s_t%s" % (mode,
+                                                               threads))
+                    subprocess.run(
+                        [args.realdata_binary, "summary",
+                         "--seed", str(args.seed), "--threads", threads,
+                         "--scale", "%g" % args.smoke_scale,
+                         "--cache-dir", cache_dir] + extra,
+                        check=True, cwd=scratch, stdout=subprocess.DEVNULL,
+                        stderr=subprocess.DEVNULL)
+                    caches = [f for f in os.listdir(cache_dir)
+                              if f.endswith(".cache")]
+                    if len(caches) != 1:
+                        sys.exit("status smoke FAILED: expected one cache "
+                                 "file in %s, found %r" % (cache_dir,
+                                                           caches))
+                    digests[(mode, threads)] = md5_file(
+                        os.path.join(cache_dir, caches[0]))
+            if len(set(digests.values())) != 1:
+                sys.exit("status smoke FAILED: study cache md5 differs "
+                         "with the exporter on/off: %r" % digests)
+            print("status smoke passed: /metrics + /progress + /healthz "
+                  "live on an ephemeral port, heartbeat done + rvmerge "
+                  "--status ok, dead shard reported, exporter on/off "
+                  "byte-identical (cache md5 %s)" %
+                  next(iter(digests.values())))
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+        return
+
     if args.campaign:
         if not os.path.exists(args.realdata_binary):
             sys.exit("realdata binary not found: %s (build Release first)" %
@@ -812,7 +1071,7 @@ def main():
             sys.exit("bench binary not found: %s (build Release first)" %
                      args.bench_binary)
         wanted = ("^(BM_ObsHookDisabled|BM_SeriesSampleDisabled|"
-                  "BM_PacketForwardingChain/8)$")
+                  "BM_MetricsDisabled|BM_PacketForwardingChain/8)$")
         print("measuring disabled-hook overhead (x%d reps)..." %
               args.repetitions, file=sys.stderr)
         results = run_microbench(args.bench_binary, args.repetitions,
@@ -821,17 +1080,22 @@ def main():
             pair_ns = results["BM_ObsHookDisabled"] / HOOK_PAIRS_PER_OBS_ITER
             guard_ns = (results["BM_SeriesSampleDisabled"] /
                         GUARDS_PER_SERIES_ITER)
+            metric_ns = (results["BM_MetricsDisabled"] /
+                         METRIC_CALLS_PER_METRICS_ITER)
             forward_ns = results["BM_PacketForwardingChain/8"]
         except KeyError as missing:
             sys.exit("obs overhead check FAILED: benchmark %s not found "
                      "(stale bench binary?)" % missing)
         tax_ns = (pair_ns * HOOK_CALLS_PER_FORWARD_ITER_8 +
-                  guard_ns * GUARD_CALLS_PER_FORWARD_ITER_8)
+                  guard_ns * GUARD_CALLS_PER_FORWARD_ITER_8 +
+                  metric_ns * METRIC_CALLS_PER_FORWARD_ITER_8)
         ratio = tax_ns / forward_ns
-        print("disabled hook pair %.3f ns + sampler guard %.3f ns; "
-              "forwarding-chain tax upper bound %.0f ns / %.0f ns = %.2f%% "
+        print("disabled hook pair %.3f ns + sampler guard %.3f ns + "
+              "metrics hook %.3f ns; forwarding-chain tax upper bound "
+              "%.0f ns / %.0f ns = %.2f%% "
               "(event kernel: 0 hooks, 0.00%%)" %
-              (pair_ns, guard_ns, tax_ns, forward_ns, ratio * 100.0))
+              (pair_ns, guard_ns, metric_ns, tax_ns, forward_ns,
+               ratio * 100.0))
         if ratio > args.obs_tolerance:
             sys.exit("obs overhead check FAILED: %.2f%% > %.0f%% budget" %
                      (ratio * 100.0, args.obs_tolerance * 100.0))

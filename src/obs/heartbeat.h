@@ -1,0 +1,81 @@
+// Shard heartbeat files for multi-process campaign runs.
+//
+// Each `realdata campaign --shard i/N --heartbeat-dir DIR` process refreshes
+// DIR/heartbeat-<i>.json on its progress hook (and once more at exit with
+// status "done"). The file is written to a temp name in the same directory
+// and atomically renamed into place, so a reader never observes a torn
+// file — it sees either the previous complete heartbeat or the new one.
+//
+// `rvmerge --status DIR` scans the directory and renders a campaign-wide
+// table with stale/dead detection: a heartbeat older than --stale-after
+// whose process is gone is DEAD, older but alive is STALE — the first
+// building block for multi-machine shard orchestration (retry/reschedule
+// decisions need exactly this signal).
+//
+// Timestamps are wall-clock (unix seconds): heartbeats describe the real
+// world, never the simulation. Nothing here touches sim state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rv::obs {
+
+struct Heartbeat {
+  int schema = 1;                   // "rv-heartbeat-v1"
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 1;
+  std::int64_t pid = 0;
+  double timestamp_unix = 0.0;      // wall clock, seconds since epoch
+  std::string status = "running";   // "running" | "done"
+  std::uint64_t users_done = 0;
+  std::uint64_t users_total = 0;
+  std::uint64_t plays = 0;
+  std::uint64_t last_fold_user = 0; // absolute user id the fold has reached
+  double plays_per_sec = 0.0;
+  std::int64_t rss_kb = 0;
+  std::uint64_t seed = 0;
+};
+
+// DIR/heartbeat-<shard_index>.json
+std::string heartbeat_path(const std::string& dir, std::uint64_t shard_index);
+
+// JSON encode/decode. parse_heartbeat rejects anything that is not a
+// complete heartbeat document (wrong schema, missing required fields,
+// truncated text) — the property the atomic-rename torn-file test leans on.
+std::string heartbeat_json(const Heartbeat& hb);
+bool parse_heartbeat(std::string_view json, Heartbeat* out);
+
+// Atomic publish: writes DIR/.heartbeat-<i>.json.tmp, then renames it over
+// heartbeat-<i>.json. Returns false with *error set on I/O failure.
+bool write_heartbeat(const std::string& dir, const Heartbeat& hb,
+                     std::string* error);
+
+// Reads and parses one heartbeat file.
+bool load_heartbeat(const std::string& path, Heartbeat* out);
+
+// All parseable heartbeat-*.json files under dir, sorted by shard index.
+std::vector<Heartbeat> scan_heartbeats(const std::string& dir);
+
+// Is the pid a live process on this machine (kill(pid, 0) semantics)?
+bool pid_alive(std::int64_t pid);
+
+// Campaign-wide status table: one row per shard with progress, rate, age
+// and state (done / ok / STALE / DEAD). `now_unix` and `alive` are injected
+// for testability; pass wall_clock_unix() and pid_alive in production.
+// State rules: "done" when the shard reported done; otherwise STALE when
+// the heartbeat is older than stale_after_sec, escalated to DEAD when the
+// pid is also gone. Missing shard indices (count known from shard_count)
+// are rendered as MISSING rows.
+std::string render_status_table(
+    const std::vector<Heartbeat>& heartbeats, double now_unix,
+    double stale_after_sec,
+    const std::function<bool(std::int64_t)>& alive = pid_alive);
+
+// Wall clock in unix seconds (sub-second resolution).
+double wall_clock_unix();
+
+}  // namespace rv::obs

@@ -1,0 +1,162 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "rtsp/http.h"
+#include "util/args.h"
+
+namespace rv::obs {
+namespace {
+
+// Reads until the header terminator or the cap; a status request has no
+// body, so the headers are the whole message.
+bool read_request(int fd, std::string* out) {
+  char buf[2048];
+  while (out->size() < 16 * 1024) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return !out->empty();
+    out->append(buf, static_cast<std::size_t>(n));
+    if (out->find("\r\n\r\n") != std::string::npos ||
+        out->find("\n\n") != std::string::npos) {
+      return true;
+    }
+  }
+  return true;
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+StatusServer::StatusServer(MetricsRegistry* registry,
+                           std::function<std::string()> progress)
+    : registry_(registry), progress_(std::move(progress)) {
+  if (!progress_) {
+    progress_ = [registry] {
+      return progress_json(snapshot_progress(*registry));
+    };
+  }
+}
+
+StatusServer::~StatusServer() { stop(); }
+
+bool StatusServer::start(int port, std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    if (error != nullptr) {
+      *error = "cannot bind 127.0.0.1:" + std::to_string(port) + ": " +
+               std::strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  stopping_.store(false, std::memory_order_release);
+  thread_ = std::thread(&StatusServer::serve, this);
+  return true;
+}
+
+void StatusServer::stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void StatusServer::serve() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // A stuck client must not wedge the (single) serving thread.
+    timeval tv{2, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    std::string raw;
+    rtsp::HttpResponse resp;
+    resp.headers.set("Connection", "close");
+    if (!read_request(fd, &raw)) {
+      ::close(fd);
+      continue;
+    }
+    const auto req = rtsp::parse_http_request(raw);
+    if (registry_ != nullptr) registry_->add(Metric::kHttpRequests);
+    if (!req) {
+      resp.status = 400;
+      resp.body = "bad request\n";
+      resp.headers.set("Content-Type", "text/plain");
+    } else {
+      int status = 200;
+      std::string content_type = "text/plain";
+      resp.body = handle(req->path, &status, &content_type);
+      resp.status = status;
+      resp.headers.set("Content-Type", content_type);
+    }
+    resp.headers.set("Content-Length", std::to_string(resp.body.size()));
+    write_all(fd, resp.serialize());
+    ::close(fd);
+  }
+}
+
+std::string StatusServer::handle(const std::string& path, int* status,
+                                 std::string* content_type) const {
+  // Ignore any query string: /progress?x=1 is /progress.
+  const std::string bare = path.substr(0, path.find('?'));
+  if (bare == "/metrics") {
+    *content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return registry_ != nullptr ? registry_->encode_prometheus() : "";
+  }
+  if (bare == "/progress") {
+    *content_type = "application/json";
+    return progress_();
+  }
+  if (bare == "/healthz" || bare == "/") {
+    return "ok\n";
+  }
+  *status = 404;
+  return "not found (try /metrics, /progress, /healthz)\n";
+}
+
+std::optional<int> parse_status_port(const std::string& text) {
+  const auto v = util::parse_int(text);
+  if (!v || *v < 0 || *v > 65535) return std::nullopt;
+  return static_cast<int>(*v);
+}
+
+}  // namespace rv::obs

@@ -1,0 +1,67 @@
+// Embedded single-threaded HTTP status server for long-running tools.
+//
+// Serves three endpoints off the live MetricsRegistry:
+//   GET /metrics   Prometheus text exposition (v0.0.4)
+//   GET /progress  JSON progress snapshot (plays, rate, ETA, shard id)
+//   GET /healthz   "ok"
+//
+// The request side reuses the rtsp/http HTTP/1.0 codec (extended to accept
+// HTTP/1.1 request lines, which is what curl and Prometheus send); the
+// response is a plain HTTP/1.0 close-delimited message. One background
+// thread accepts and serves connections sequentially — a status page does
+// not need concurrency, and a single thread cannot interfere with the
+// deterministic simulation workers. Binds 127.0.0.1 only: this is a local
+// observability port, not a public service.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+
+namespace rv::obs {
+
+class MetricsRegistry;
+
+class StatusServer {
+ public:
+  // The registry must outlive the server. progress_json is called per
+  // /progress request from the server thread (must be thread-safe);
+  // defaults to progress_json(snapshot_progress(*registry)).
+  explicit StatusServer(MetricsRegistry* registry,
+                        std::function<std::string()> progress = nullptr);
+  ~StatusServer();
+
+  StatusServer(const StatusServer&) = delete;
+  StatusServer& operator=(const StatusServer&) = delete;
+
+  // Binds 127.0.0.1:port (port 0 = kernel-assigned, see port()) and starts
+  // the serving thread. Returns false with *error set on bind failure.
+  bool start(int port, std::string* error);
+
+  // The bound port (valid after a successful start()).
+  int port() const { return port_; }
+
+  // Stops accepting, joins the thread. Idempotent; also run by the dtor.
+  void stop();
+
+ private:
+  void serve();
+  std::string handle(const std::string& path, int* status,
+                     std::string* content_type) const;
+
+  MetricsRegistry* registry_;
+  std::function<std::string()> progress_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+// Strict --status-port value: an integer in [0, 65535] (0 = ephemeral).
+// Returns nullopt for malformed or out-of-range input.
+std::optional<int> parse_status_port(const std::string& text);
+
+}  // namespace rv::obs

@@ -10,6 +10,16 @@ namespace {
 
 constexpr std::string_view kHttpVersion = "HTTP/1.0";
 
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 500: return "Internal Server Error";
+    default: return status < 400 ? "OK" : "Error";
+  }
+}
+
 // Shares the header-block layout with the RTSP codec.
 bool split_http(std::string_view text, std::string& start_line,
                 HeaderMap& headers, std::string& body) {
@@ -46,8 +56,8 @@ std::string HttpRequest::serialize() const {
 
 std::string HttpResponse::serialize() const {
   std::ostringstream os;
-  os << kHttpVersion << ' ' << status << ' '
-     << (status == 200 ? "OK" : "Not Found") << "\r\n";
+  os << kHttpVersion << ' ' << status << ' ' << reason_phrase(status)
+     << "\r\n";
   for (const auto& [name, value] : headers) {
     os << name << ": " << value << "\r\n";
   }
@@ -61,7 +71,11 @@ std::optional<HttpRequest> parse_http_request(std::string_view text) {
   std::string body;
   if (!split_http(text, start_line, req.headers, body)) return std::nullopt;
   const auto parts = util::split(start_line, ' ');
-  if (parts.size() != 3 || parts[0] != "GET" || parts[2] != kHttpVersion) {
+  // The metafile model is HTTP/1.0, but the embedded status exporter feeds
+  // this parser requests from real clients (curl, Prometheus), which send
+  // HTTP/1.1 — accept both request versions.
+  if (parts.size() != 3 || parts[0] != "GET" ||
+      (parts[2] != kHttpVersion && parts[2] != "HTTP/1.1")) {
     return std::nullopt;
   }
   req.path = parts[1];

@@ -2,6 +2,10 @@
 // clicking a web link downloads a .ram metafile over HTTP; the metafile
 // holds the rtsp:// URL the player then opens. Only GET and the handful of
 // headers that flow are modelled.
+//
+// The request parser also serves the embedded status exporter
+// (src/obs/http_exporter.h), so it additionally accepts HTTP/1.1 request
+// lines — what curl and Prometheus scrapers actually send.
 #pragma once
 
 #include <optional>

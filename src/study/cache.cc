@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -257,9 +258,11 @@ StudyResult run_study_cached(const StudyConfig& config, bool force_run,
   const std::string path = default_cache_path(config, cache_dir);
   if (!force_run) {
     if (auto cached = load_result(path, config)) {
+      obs::metrics_add(obs::Metric::kCacheHits);
       return std::move(*cached);
     }
   }
+  obs::metrics_add(obs::Metric::kCacheMisses);
   StudyResult result = run_study(config);
   // Cache files live in a dedicated directory (never the repo root); create
   // it on demand so a fresh checkout works without setup.

@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "study/spill.h"
 #include "util/check.h"
 #include "util/strings.h"
@@ -611,6 +612,15 @@ CampaignResult run_campaign(const CampaignConfig& config) {
   res.rollup.user_count = last - first;
   res.users = last - first;
 
+  // Wall-clock-side liveness metrics (no-ops unless a registry is
+  // installed; never feeds back into sim state or the RNG tree).
+  obs::metrics_gauge_set(obs::MetricGauge::kUsersPlanned,
+                         static_cast<std::int64_t>(last - first));
+  obs::metrics_gauge_set(obs::MetricGauge::kShardIndex, config.shard_index);
+  obs::metrics_gauge_set(obs::MetricGauge::kShardCount, config.shard_count);
+  obs::metrics_gauge_set(obs::MetricGauge::kLastFoldUser,
+                         static_cast<std::int64_t>(first));
+
   std::unique_ptr<SpillWriter> writer;
   if (!config.spill_dir.empty()) {
     std::error_code ec;
@@ -631,6 +641,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
                       : static_cast<int>(std::thread::hardware_concurrency());
   n_threads = std::clamp(n_threads, 1, 64);
   res.threads = n_threads;
+  obs::metrics_gauge_set(obs::MetricGauge::kWorkers, n_threads);
   // Contexts persist across chunks (deque: PlayContext is pinned, not
   // movable), so steady-state chunks allocate ~nothing.
   std::deque<tracer::PlayContext> contexts;
@@ -643,6 +654,7 @@ CampaignResult run_campaign(const CampaignConfig& config) {
 
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t pos = first;
+  std::uint64_t spill_bytes_fed = 0, spill_frames_fed = 0;
   while (pos < last) {
     const std::uint64_t count = std::min(config.chunk_users, last - pos);
     users.clear();
@@ -679,17 +691,45 @@ CampaignResult run_campaign(const CampaignConfig& config) {
     for (const auto& rec : records) {
       res.rollup.fold(rec);
       if (writer != nullptr) writer->append(rec);
+      if (rec.analyzable()) {
+        obs::metrics_observe(obs::MetricHist::kPlayFps,
+                             rec.stats.measured_fps);
+        obs::metrics_observe(obs::MetricHist::kPlayBandwidthKbps,
+                             to_kbps(rec.stats.measured_bandwidth));
+      }
     }
     res.plays += records.size();
     pos += count;
+    obs::metrics_add(obs::Metric::kPlaysCompleted, records.size());
+    obs::metrics_add(obs::Metric::kUsersCompleted, count);
+    obs::metrics_add(obs::Metric::kChunksCompleted);
+    obs::metrics_gauge_set(obs::MetricGauge::kLastFoldUser,
+                           static_cast<std::int64_t>(pos));
+    if (writer != nullptr) {
+      obs::metrics_add(obs::Metric::kSpillBytesWritten,
+                       writer->bytes_written() - spill_bytes_fed);
+      obs::metrics_add(obs::Metric::kSpillFramesWritten,
+                       writer->frames_written() - spill_frames_fed);
+      spill_bytes_fed = writer->bytes_written();
+      spill_frames_fed = writer->frames_written();
+    }
+    obs::metrics_gauge_set(obs::MetricGauge::kRssKb, obs::current_rss_kb());
     if (config.progress) config.progress(res.plays, pos - first, last - first);
   }
   res.execute_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  if (writer != nullptr && !writer->finish()) {
-    throw std::runtime_error("cannot finalize spill file: " + res.spill_path);
+  if (writer != nullptr) {
+    if (!writer->finish()) {
+      throw std::runtime_error("cannot finalize spill file: " +
+                               res.spill_path);
+    }
+    // The footer written by finish() is part of the spill byte count.
+    obs::metrics_add(obs::Metric::kSpillBytesWritten,
+                     writer->bytes_written() - spill_bytes_fed);
+    obs::metrics_add(obs::Metric::kSpillFramesWritten,
+                     writer->frames_written() - spill_frames_fed);
   }
   if (!res.rollup_path.empty() && !res.rollup.save(res.rollup_path)) {
     throw std::runtime_error("cannot write rollup file: " + res.rollup_path);

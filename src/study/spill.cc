@@ -255,6 +255,7 @@ SpillWriter::SpillWriter(const std::string& path)
   put_u32(header, kVersion);
   os_.write(header.data(), static_cast<std::streamsize>(header.size()));
   ok_ = os_.good();
+  bytes_written_ = header.size();
   frame_.reserve(kSpillFrameRecords);
 }
 
@@ -369,6 +370,7 @@ void SpillWriter::flush_frame() {
   entry.record_count = static_cast<std::uint32_t>(frame_.size());
   os_.write(out.data(), static_cast<std::streamsize>(out.size()));
   ok_ = ok_ && os_.good();
+  bytes_written_ = entry.offset + out.size();
   index_.push_back(entry);
   frame_.clear();
 }
@@ -398,6 +400,7 @@ bool SpillWriter::finish() {
   os_.write(footer.data(), static_cast<std::streamsize>(footer.size()));
   os_.flush();
   ok_ = ok_ && os_.good();
+  bytes_written_ = footer_offset + footer.size();
   finished_ = true;
   os_.close();
   return ok_;

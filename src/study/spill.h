@@ -50,6 +50,10 @@ class SpillWriter {
 
   bool ok() const { return ok_; }
   std::uint64_t records() const { return records_; }
+  // Live file-size / frame counters (observable mid-campaign without
+  // touching the stream): bytes flushed so far and frames written.
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t frames_written() const { return index_.size(); }
 
  private:
   void flush_frame();
@@ -59,6 +63,7 @@ class SpillWriter {
   bool ok_ = false;
   bool finished_ = false;
   std::uint64_t records_ = 0;
+  std::uint64_t bytes_written_ = 0;
   std::vector<tracer::TraceRecord> frame_;
   // File-local string table in first-appearance order.
   std::unordered_map<std::uint32_t, std::uint32_t> symbol_to_local_;

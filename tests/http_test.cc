@@ -43,6 +43,28 @@ TEST(Http, RejectsMalformed) {
   EXPECT_FALSE(parse_http_response("nope").has_value());
 }
 
+TEST(Http, AcceptsHttp11RequestLine) {
+  // The embedded status exporter reuses this parser, and its clients (curl,
+  // Prometheus) send HTTP/1.1 request lines.
+  const auto req =
+      parse_http_request("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->path, "/metrics");
+  EXPECT_EQ(req->headers.get("host"), "x");
+  // Other versions stay rejected.
+  EXPECT_FALSE(parse_http_request("GET /x HTTP/2.0\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_request("GET /x HTTP/1.2\r\n\r\n").has_value());
+}
+
+TEST(Http, ResponseReasonPhraseMatchesStatus) {
+  HttpResponse resp;
+  resp.status = 404;
+  EXPECT_NE(resp.serialize().find("HTTP/1.0 404 Not Found\r\n"),
+            std::string::npos);
+  resp.status = 200;
+  EXPECT_NE(resp.serialize().find("HTTP/1.0 200 OK\r\n"), std::string::npos);
+}
+
 TEST(Http, StatusMustBeExactlyThreeDigits) {
   // atoi-style parsing accepted all of these; strict parsing must not.
   EXPECT_FALSE(parse_http_response("HTTP/1.0 2xx OK\r\n\r\n").has_value());

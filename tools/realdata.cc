@@ -25,12 +25,29 @@
 //        Like --trace, these force a fresh run: series live only in memory.
 //        Malformed numeric flag values are an error (exit 2), not a
 //        silent fallback to the default.
+//        --status-port <0..65535> (embedded HTTP status exporter on
+//        127.0.0.1: GET /metrics Prometheus text, /progress JSON, /healthz;
+//        0 picks an ephemeral port, announced on stderr),
+//        --status-hold-ms <n> (keep serving n ms after the command
+//        finishes, for scrapers), --heartbeat-dir <dir> (campaign only:
+//        atomic-rename shard heartbeat JSON refreshed per chunk; see
+//        `rvmerge --status`). All wall-clock-side: the study cache bytes
+//        are identical with the exporter on or off.
+#include <unistd.h>
+
+#include <chrono>
 #include <exception>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <thread>
 
 #include "obs/chrome_trace.h"
+#include "obs/heartbeat.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
 #include "stats/csv.h"
 #include "stats/summary.h"
 #include "study/analysis.h"
@@ -291,7 +308,8 @@ bool parse_shard(const std::string& spec, std::uint32_t* index,
 // study/campaign.h). Unlike the other commands it never touches the study
 // cache — its output is the mergeable rollup (and optional spill), not an
 // in-memory StudyResult.
-int cmd_campaign(const study::StudyConfig& study_cfg, const util::Args& args) {
+int cmd_campaign(const study::StudyConfig& study_cfg, const util::Args& args,
+                 const std::string& heartbeat_dir) {
   study::CampaignConfig cc;
   cc.study = study_cfg;
   const auto plays_scale = args.get_int("plays-scale", 1);
@@ -338,20 +356,69 @@ int cmd_campaign(const study::StudyConfig& study_cfg, const util::Args& args) {
     return 2;
   }
 
+  // Shard label on every exported series, so a Prometheus scrape of N
+  // shards stays distinguishable.
+  if (obs::MetricsRegistry* reg = obs::installed_metrics()) {
+    if (cc.shard_count > 1) {
+      reg->set_common_label("shard", std::to_string(cc.shard_index));
+    }
+  }
+
+  // Refreshes DIR/heartbeat-<i>.json (atomic rename) from the same registry
+  // snapshot the /progress endpoint serves. Best-effort: a failing disk
+  // must not kill the campaign, so failures only warn.
+  const auto emit_heartbeat = [&](const char* status) {
+    if (heartbeat_dir.empty()) return;
+    obs::MetricsRegistry* reg = obs::installed_metrics();
+    if (reg == nullptr) return;
+    const obs::ProgressSnapshot snap = obs::snapshot_progress(*reg);
+    obs::Heartbeat hb;
+    hb.shard_index = cc.shard_index;
+    hb.shard_count = cc.shard_count;
+    hb.pid = static_cast<std::int64_t>(::getpid());
+    hb.timestamp_unix = obs::wall_clock_unix();
+    hb.status = status;
+    hb.users_done = snap.users_done;
+    hb.users_total = snap.users_total;
+    hb.plays = snap.plays;
+    hb.last_fold_user = static_cast<std::uint64_t>(
+        reg->gauge(obs::MetricGauge::kLastFoldUser));
+    hb.plays_per_sec = snap.plays_per_sec;
+    hb.rss_kb = snap.rss_kb;
+    hb.seed = cc.study.seed;
+    std::string err;
+    if (!obs::write_heartbeat(heartbeat_dir, hb, &err)) {
+      std::cerr << "heartbeat: " << err << "\n";
+    }
+  };
+
   // Coarse progress to stderr (~every 5%), so multi-hour campaigns are
-  // observable without flooding the log.
+  // observable without flooding the log. Rate and ETA come from the same
+  // registry snapshot the /progress endpoint serves — one source of truth,
+  // no second clock path. The heartbeat refreshes on every chunk.
   std::uint64_t last_decile = 0;
-  cc.progress = [&last_decile](std::uint64_t plays, std::uint64_t done,
-                               std::uint64_t total) {
+  cc.progress = [&](std::uint64_t plays, std::uint64_t done,
+                    std::uint64_t total) {
     const std::uint64_t pct = total == 0 ? 100 : 100 * done / total;
     if (pct / 5 > last_decile || done == total) {
       last_decile = pct / 5;
       std::cerr << "campaign: " << done << "/" << total << " users, " << plays
-                << " plays\n";
+                << " plays";
+      if (obs::MetricsRegistry* reg = obs::installed_metrics()) {
+        const obs::ProgressSnapshot snap = obs::snapshot_progress(*reg);
+        std::cerr << ", " << format_double(snap.plays_per_sec, 1)
+                  << " plays/s";
+        if (snap.eta_seconds >= 0.0) {
+          std::cerr << ", ETA " << format_double(snap.eta_seconds, 0) << "s";
+        }
+      }
+      std::cerr << "\n";
     }
+    emit_heartbeat("running");
   };
 
   const study::CampaignResult res = study::run_campaign(cc);
+  emit_heartbeat("done");
   const double per_core =
       res.execute_seconds > 0.0
           ? static_cast<double>(res.plays) /
@@ -382,6 +449,16 @@ int cmd_campaign(const study::StudyConfig& study_cfg, const util::Args& args) {
   return 0;
 }
 
+// Keeps the status exporter serving a little longer after the command
+// finishes (so a scraper polling /progress can observe the final state),
+// simply by delaying the StatusServer destructor.
+struct StatusHold {
+  std::int64_t ms = 0;
+  ~StatusHold() {
+    if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -393,10 +470,11 @@ int main(int argc, char** argv) {
                  "[--faults [--outage-scale X]] [--trace PATH "
                  "[--trace-play U,P]] [--telemetry] "
                  "[--telemetry-interval-ms N] [--series-csv PATH] "
-                 "[--flight-dir DIR] [--profile] [slice flags]\n"
+                 "[--flight-dir DIR] [--profile] [--status-port P "
+                 "[--status-hold-ms N]] [slice flags]\n"
                  "       realdata campaign [--plays-scale N] [--shard i/N] "
                  "[--spill-dir DIR] [--rollup-out PATH] [--chunk-users N] "
-                 "[--watch SEC]\n";
+                 "[--watch SEC] [--heartbeat-dir DIR]\n";
     return args.has("help") ? 0 : 1;
   }
 
@@ -477,9 +555,69 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Live observability flags (strict: anything malformed is exit 2). All
+  // wall-clock-side — none of these feed the sim or the cache fingerprint,
+  // so the study cache bytes are identical with them on or off.
+  int status_port = -1;
+  if (args.has("status-port")) {
+    const std::string raw = args.get_or("status-port", "");
+    const auto parsed = obs::parse_status_port(raw);
+    if (!parsed) {
+      std::cerr << "--status-port expects an integer in [0, 65535] (got '"
+                << raw << "')\n";
+      return 2;
+    }
+    status_port = *parsed;
+  }
+  const auto status_hold_ms = args.get_int("status-hold-ms", 0);
+  if (args.has("status-hold-ms") && status_hold_ms < 0) {
+    std::cerr << "--status-hold-ms must be a non-negative integer (got "
+              << status_hold_ms << ")\n";
+    return 2;
+  }
+  std::string heartbeat_dir;
+  if (args.has("heartbeat-dir")) {
+    heartbeat_dir = args.get_or("heartbeat-dir", "");
+    if (heartbeat_dir.empty()) {
+      std::cerr << "--heartbeat-dir requires a directory\n";
+      return 2;
+    }
+    // Fail fast on an unwritable directory rather than warning once per
+    // chunk for the whole campaign.
+    std::error_code ec;
+    std::filesystem::create_directories(heartbeat_dir, ec);
+    const std::string probe = heartbeat_dir + "/.rv-heartbeat-probe";
+    if (std::ofstream os(probe); !os || !(os << "probe\n")) {
+      std::cerr << "--heartbeat-dir is not writable: " << heartbeat_dir
+                << "\n";
+      return 2;
+    }
+    std::filesystem::remove(probe, ec);
+  }
+
+  // The registry is always installed (the hooks are near-free and the
+  // stderr progress line reads it); the HTTP exporter only with
+  // --status-port. Declaration order matters: the hold sleeps first, then
+  // the server stops, then the registry dies.
+  obs::MetricsRegistry metrics;
+  obs::install_metrics(&metrics);
+  std::unique_ptr<obs::StatusServer> status_server;
+  StatusHold status_hold;
+  if (status_port >= 0) {
+    status_server = std::make_unique<obs::StatusServer>(&metrics);
+    std::string err;
+    if (!status_server->start(status_port, &err)) {
+      std::cerr << "--status-port: " << err << "\n";
+      return 2;
+    }
+    status_hold.ms = status_hold_ms;
+    std::cerr << "status: serving http://127.0.0.1:" << status_server->port()
+              << "/{metrics,progress,healthz}\n";
+  }
+
   if (args.positional()[0] == "campaign") {
     try {
-      return cmd_campaign(config, args);
+      return cmd_campaign(config, args, heartbeat_dir);
     } catch (const std::exception& e) {
       std::cerr << "campaign failed: " << e.what() << "\n";
       return 1;
@@ -497,6 +635,20 @@ int main(int argc, char** argv) {
                          config.tracer.obs.enabled;
   const study::StudyResult result =
       study::run_study_cached(config, force_run, cache_dir);
+  // Feed the registry for the study path too (run_campaign feeds itself):
+  // /metrics after a study command reports what was analyzed, whether it
+  // came from the cache or a fresh run.
+  obs::metrics_gauge_set(obs::MetricGauge::kUsersPlanned,
+                         static_cast<std::int64_t>(result.users.size()));
+  obs::metrics_add(obs::Metric::kUsersCompleted, result.users.size());
+  obs::metrics_add(obs::Metric::kPlaysCompleted, result.records.size());
+  for (const auto& r : result.records) {
+    if (!r.analyzable()) continue;
+    obs::metrics_observe(obs::MetricHist::kPlayFps, r.stats.measured_fps);
+    obs::metrics_observe(obs::MetricHist::kPlayBandwidthKbps,
+                         to_kbps(r.stats.measured_bandwidth));
+  }
+  obs::metrics_gauge_set(obs::MetricGauge::kRssKb, obs::current_rss_kb());
   if (want_trace) {
     const int rc = cmd_write_trace(result, trace_path);
     if (rc != 0) return rc;

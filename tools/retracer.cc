@@ -26,10 +26,19 @@
 // Examples:
 //   retracer --connection modem --clip 8
 //   retracer --connection dsl --region australia --protocol tcp --samples
+// --status-port <0..65535> serves GET /metrics, /progress and /healthz on
+// 127.0.0.1 while the play runs (0 = ephemeral, announced on stderr);
+// --status-hold-ms keeps serving after the play finishes so a scraper can
+// observe the final counters.
+#include <chrono>
 #include <exception>
 #include <iostream>
+#include <memory>
+#include <thread>
 
 #include "obs/chrome_trace.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
 #include "study/spill.h"
 #include "study/study.h"
 #include "study/telemetry_report.h"
@@ -76,7 +85,8 @@ int main(int argc, char** argv) {
                  " [--cc reno|cubic|bbr]"
                  " [--live] [--watch <sec>] [--seed <n>] [--samples]"
                  " [--trace <path>] [--telemetry]"
-                 " [--telemetry-interval-ms <n>] [--series-csv <path>]\n"
+                 " [--telemetry-interval-ms <n>] [--series-csv <path>]"
+                 " [--status-port <p> [--status-hold-ms <n>]]\n"
                  "       retracer --spill-read <path> [--spill-record <k>]\n";
     return 0;
   }
@@ -205,14 +215,58 @@ int main(int argc, char** argv) {
       args.get_int("clip", 0)) % catalog.size();
   const bool force_tcp = args.get_or("protocol", "auto") == "tcp";
 
+  int status_port = -1;
+  if (args.has("status-port")) {
+    const std::string raw = args.get_or("status-port", "");
+    const auto parsed = obs::parse_status_port(raw);
+    if (!parsed) {
+      std::cerr << "--status-port expects an integer in [0, 65535] (got '"
+                << raw << "')\n";
+      return 2;
+    }
+    status_port = *parsed;
+  }
+  const auto status_hold_ms = args.get_int("status-hold-ms", 0);
+  if (args.has("status-hold-ms") && status_hold_ms < 0) {
+    std::cerr << "--status-hold-ms must be a non-negative integer (got "
+              << status_hold_ms << ")\n";
+    return 2;
+  }
+
   if (!args.errors().empty()) {
     for (const auto& err : args.errors()) std::cerr << err << "\n";
     return 2;
   }
 
+  obs::MetricsRegistry metrics;
+  obs::install_metrics(&metrics);
+  std::unique_ptr<obs::StatusServer> status_server;
+  if (status_port >= 0) {
+    status_server = std::make_unique<obs::StatusServer>(&metrics);
+    std::string err;
+    if (!status_server->start(status_port, &err)) {
+      std::cerr << "--status-port: " << err << "\n";
+      return 2;
+    }
+    std::cerr << "status: serving http://127.0.0.1:" << status_server->port()
+              << "/{metrics,progress,healthz}\n";
+  }
+  obs::metrics_gauge_set(obs::MetricGauge::kUsersPlanned, 1);
+
   const auto rec = tracer.run_single(
       user, playlist_index,
       user.seed * 7919 + playlist_index, force_tcp);
+  obs::metrics_add(obs::Metric::kPlaysCompleted);
+  obs::metrics_add(obs::Metric::kUsersCompleted);
+  if (rec.analyzable()) {
+    obs::metrics_observe(obs::MetricHist::kPlayFps, rec.stats.measured_fps);
+    obs::metrics_observe(obs::MetricHist::kPlayBandwidthKbps,
+                         to_kbps(rec.stats.measured_bandwidth));
+  }
+  obs::metrics_gauge_set(obs::MetricGauge::kRssKb, obs::current_rss_kb());
+  if (status_server && status_hold_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(status_hold_ms));
+  }
 
   if (!trace_path.empty() && rec.obs.enabled) {
     obs::PlayTrack track;

@@ -12,21 +12,68 @@
 // md5s are printed so drift is visible at a glance.
 //
 // --report additionally prints the merged rollup's human-readable report.
+//
+// Status mode (no merge):
+//   rvmerge --status <heartbeat-dir> [--stale-after SEC]
+//
+// Renders a campaign-wide table from the shard heartbeat files written by
+// `realdata campaign --heartbeat-dir` (one row per shard: progress, rate,
+// heartbeat age, state). A heartbeat older than --stale-after (default 15 s)
+// is STALE while its pid is still alive and DEAD once the process is gone;
+// shards that never wrote a heartbeat show as MISSING. Exit status: 0 when
+// every shard is done or ok, 1 when any shard needs attention.
 #include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "obs/heartbeat.h"
 #include "study/campaign.h"
 #include "study/spill.h"
 #include "util/args.h"
 #include "util/md5.h"
 
+namespace {
+
+int cmd_status(const rv::util::Args& args) {
+  using namespace rv;
+  const std::string dir = args.get_or("status", "");
+  if (dir.empty()) {
+    std::cerr << "--status requires a heartbeat directory\n";
+    return 2;
+  }
+  const double stale_after = args.get_double("stale-after", 15.0);
+  if (args.has("stale-after") && !(stale_after > 0.0)) {
+    std::cerr << "--stale-after must be a positive number of seconds\n";
+    return 2;
+  }
+  if (!args.errors().empty()) {
+    for (const auto& err : args.errors()) std::cerr << err << "\n";
+    return 2;
+  }
+  const auto heartbeats = obs::scan_heartbeats(dir);
+  if (heartbeats.empty()) {
+    std::cerr << "no heartbeat files under " << dir << "\n";
+    return 1;
+  }
+  const std::string table = obs::render_status_table(
+      heartbeats, obs::wall_clock_unix(), stale_after);
+  std::cout << table;
+  // "need attention" is rendered exactly when some shard is STALE, DEAD or
+  // MISSING — surface that in the exit status for scripting.
+  return table.find("need attention") == std::string::npos ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace rv;
   const util::Args args(argc, argv);
+  if (args.has("status")) return cmd_status(args);
   if (args.has("help") || args.positional().empty()) {
-    std::cout << "usage: rvmerge <shard-dir>... --out <dir> [--report]\n";
+    std::cout << "usage: rvmerge <shard-dir>... --out <dir> [--report]\n"
+                 "       rvmerge --status <heartbeat-dir> "
+                 "[--stale-after SEC]\n";
     return args.has("help") ? 0 : 2;
   }
   const std::string out_dir = args.get_or("out", "");
